@@ -1,0 +1,225 @@
+package infoshield
+
+// One benchmark per table/figure of the paper (DESIGN.md §4 maps each to
+// its experiment runner), plus micro-benchmarks for the pipeline stages.
+// Benchmarks run the Small experiment scale so `go test -bench=.` stays
+// laptop-friendly; `cmd/experiments -scale full` is the paper-scale path.
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"infoshield/internal/align"
+	"infoshield/internal/core"
+	"infoshield/internal/datagen"
+	"infoshield/internal/experiments"
+	"infoshield/internal/poa"
+	"infoshield/internal/tfidf"
+	"infoshield/internal/tokenize"
+)
+
+// BenchmarkToyExample covers Tables II-V: the full pipeline on the paper's
+// worked example.
+func BenchmarkToyExample(b *testing.B) {
+	docs := demoCorpus()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Detect(docs, Config{})
+	}
+}
+
+// BenchmarkFig1Precision regenerates Figure 1 (left).
+func BenchmarkFig1Precision(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig1Precision(io.Discard, experiments.Small)
+	}
+}
+
+// BenchmarkFig2Scalability regenerates Figure 2 (the runtime sweep is the
+// measurement itself; the benchmark wraps one full sweep).
+func BenchmarkFig2Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig2Scalability(io.Discard, experiments.Small)
+	}
+}
+
+// BenchmarkTable8Twitter regenerates the Twitter half of Table VIII.
+func BenchmarkTable8Twitter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table8Twitter(io.Discard, experiments.Small)
+	}
+}
+
+// BenchmarkTable8HT regenerates the human-trafficking half of Table VIII.
+func BenchmarkTable8HT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table8HT(io.Discard, experiments.Small)
+	}
+}
+
+// BenchmarkTable9Multilingual regenerates Table IX.
+func BenchmarkTable9Multilingual(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table9Multilingual(io.Discard)
+	}
+}
+
+// BenchmarkTable10Slots regenerates Table X.
+func BenchmarkTable10Slots(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table10Slots(io.Discard)
+	}
+}
+
+// BenchmarkTable11HT regenerates Table XI.
+func BenchmarkTable11HT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table11HT(io.Discard)
+	}
+}
+
+// BenchmarkFig3RelativeLength regenerates Figure 3.
+func BenchmarkFig3RelativeLength(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig3RelativeLength(io.Discard, experiments.Small)
+	}
+}
+
+// BenchmarkFig4Ngram regenerates Figure 4.
+func BenchmarkFig4Ngram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig4Ngram(io.Discard, experiments.Small)
+	}
+}
+
+// BenchmarkAblations runs the DESIGN.md §5 ablation suite.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationSlots(io.Discard, experiments.Small)
+		experiments.AblationMSA(io.Discard, experiments.Small)
+		experiments.AblationConsensusSearch(io.Discard, experiments.Small)
+		experiments.AblationCoarseStrictness(io.Discard, experiments.Small)
+	}
+}
+
+// --- pipeline-stage micro-benchmarks ---
+
+func twitterTexts(b *testing.B, accounts int) []string {
+	b.Helper()
+	c := datagen.Twitter(datagen.TwitterConfig{Seed: 1, GenuineAccounts: accounts, BotAccounts: accounts})
+	return c.Texts()
+}
+
+// BenchmarkPipelineEndToEnd measures full Detect throughput on a ~2k-tweet
+// mixed corpus (docs/op scales linearly per Fig 2 / Lemma 2).
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	texts := twitterTexts(b, 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Detect(texts, Config{})
+	}
+}
+
+// BenchmarkCoarse isolates InfoShield-Coarse (tf-idf + components).
+func BenchmarkCoarse(b *testing.B) {
+	texts := twitterTexts(b, 50)
+	var tk tokenize.Tokenizer
+	words := make([][]string, len(texts))
+	for i, t := range texts {
+		words[i] = tk.Tokens(t)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Coarse(words, core.Options{})
+	}
+}
+
+// BenchmarkTopPhrases isolates the tf-idf phrase extraction.
+func BenchmarkTopPhrases(b *testing.B) {
+	texts := twitterTexts(b, 50)
+	var tk tokenize.Tokenizer
+	words := make([][]string, len(texts))
+	for i, t := range texts {
+		words[i] = tk.Tokens(t)
+	}
+	ex := &tfidf.Extractor{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex.TopPhrases(words)
+	}
+}
+
+// BenchmarkPairwiseAlign measures the token-level Needleman-Wunsch on
+// tweet-length sequences (the Fine pass's inner loop).
+func BenchmarkPairwiseAlign(b *testing.B) {
+	ref := make([]int, 30)
+	doc := make([]int, 32)
+	for i := range ref {
+		ref[i] = i
+	}
+	copy(doc, ref)
+	doc[7] = 99
+	doc[30], doc[31] = 100, 101
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		align.Pairwise(ref, doc)
+	}
+}
+
+// BenchmarkPOABuild measures partial-order alignment of a 20-document
+// near-duplicate cluster.
+func BenchmarkPOABuild(b *testing.B) {
+	base := make([]int, 25)
+	for i := range base {
+		base[i] = i
+	}
+	seqs := make([][]int, 20)
+	for s := range seqs {
+		dup := append([]int(nil), base...)
+		dup[s%len(dup)] = 1000 + s
+		seqs[s] = dup
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		poa.Build(seqs)
+	}
+}
+
+// BenchmarkStreamDetector measures incremental template matching (the
+// per-document cost of the streaming deployment path).
+func BenchmarkStreamDetector(b *testing.B) {
+	s := NewStreamDetector(Config{}, 1<<30)
+	var docs []string
+	for i := 0; i < 25; i++ {
+		docs = append(docs, "flash sale grab the deluxe winter bundle now at shop.example today")
+	}
+	for i := 0; i < 300; i++ {
+		docs = append(docs, fmt.Sprintf(
+			"sb%daa sb%dbb sb%dcc sb%ddd sb%dee sb%dff sb%dgg sb%dhh", i, i, i, i, i, i, i, i))
+	}
+	s.AddBatch(docs)
+	s.Flush()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add("flash sale grab the deluxe winter bundle now at shop.example today")
+	}
+}
+
+// BenchmarkTokenizer measures raw tokenization throughput.
+func BenchmarkTokenizer(b *testing.B) {
+	var tk tokenize.Tokenizer
+	text := "Honestly we watched the golden sunset near the misty harbor, call 123-456.7890 or visit example.test 今日は映画"
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk.Tokens(text)
+	}
+}

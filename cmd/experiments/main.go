@@ -1,0 +1,89 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic data substitutes (see DESIGN.md §4 for the index and
+// EXPERIMENTS.md for recorded results).
+//
+//	experiments                       # everything at medium scale
+//	experiments -run fig2 -scale full # one artifact, paper-scale
+//	experiments -run table8ht,fig3
+//
+// Artifacts: fig1, fig2, fig3 (+fig3.svg), fig4, table8twitter, table8ht,
+// table9, table10, table11, language, clustering, ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"infoshield/internal/experiments"
+)
+
+type runner struct {
+	name string
+	fn   func(io.Writer, experiments.Scale)
+}
+
+func main() {
+	runFlag := flag.String("run", "all", "comma-separated artifacts, or all")
+	scaleFlag := flag.String("scale", "medium", "small | medium | full")
+	flag.Parse()
+
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	all := []runner{
+		{"fig1", experiments.Fig1Precision},
+		{"fig2", experiments.Fig2Scalability},
+		{"table8twitter", experiments.Table8Twitter},
+		{"table8ht", experiments.Table8HT},
+		{"table9", func(w io.Writer, _ experiments.Scale) { experiments.Table9Multilingual(w) }},
+		{"table10", func(w io.Writer, _ experiments.Scale) { experiments.Table10Slots(w) }},
+		{"table11", func(w io.Writer, _ experiments.Scale) { experiments.Table11HT(w) }},
+		{"fig3", func(w io.Writer, s experiments.Scale) {
+			experiments.Fig3RelativeLength(w, s)
+			f, err := os.Create("fig3.svg")
+			if err == nil {
+				if werr := experiments.Fig3SVG(f, s); werr == nil {
+					fmt.Fprintln(w, "wrote fig3.svg")
+				}
+				f.Close()
+			}
+		}},
+		{"fig4", experiments.Fig4Ngram},
+		{"language", experiments.LanguageBreakdown},
+		{"clustering", experiments.ClusteringComparison},
+		{"ablations", func(w io.Writer, s experiments.Scale) {
+			experiments.AblationSlots(w, s)
+			experiments.AblationMSA(w, s)
+			experiments.AblationConsensusSearch(w, s)
+			experiments.AblationCoarseStrictness(w, s)
+			experiments.AblationTopFraction(w, s)
+			experiments.AblationCoarseMethod(w, s)
+		}},
+	}
+	want := map[string]bool{}
+	if *runFlag != "all" {
+		for _, name := range strings.Split(*runFlag, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+	ran := 0
+	for _, r := range all {
+		if len(want) > 0 && !want[r.name] {
+			continue
+		}
+		start := time.Now()
+		r.fn(os.Stdout, scale)
+		fmt.Printf("[%s done in %.1fs]\n", r.name, time.Since(start).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: nothing matched -run=%s\n", *runFlag)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,72 @@
+// Command gencorpus generates the synthetic evaluation corpora (the
+// substitutes for the gated Cresci-2017 and Marinus datasets — see
+// DESIGN.md §3) as JSONL or CSV.
+//
+// Examples:
+//
+//	gencorpus -kind twitter -accounts 200 -seed 1 -o tweets.jsonl
+//	gencorpus -kind trafficking10k -o t10k.csv
+//	gencorpus -kind clustertrafficking -ct-scale 0.1 -o ct.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"infoshield/internal/corpus"
+	"infoshield/internal/datagen"
+)
+
+func main() {
+	kind := flag.String("kind", "twitter", "twitter | trafficking10k | clustertrafficking")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("o", "-", "output file (.jsonl or .csv; - = jsonl on stdout)")
+	accounts := flag.Int("accounts", 100, "twitter: accounts per side (genuine and bot)")
+	size := flag.Int("size", 0, "trafficking10k: total ads (0 = the real 10265)")
+	ctScale := flag.Float64("ct-scale", 1.0, "clustertrafficking: population scale (1.0 = the paper's 157k ads)")
+	flag.Parse()
+
+	var c *corpus.Corpus
+	switch *kind {
+	case "twitter":
+		c = datagen.Twitter(datagen.TwitterConfig{
+			Seed:            *seed,
+			GenuineAccounts: *accounts,
+			BotAccounts:     *accounts,
+		})
+	case "trafficking10k":
+		c = datagen.Trafficking10k(datagen.Trafficking10kConfig{Seed: *seed, Size: *size})
+	case "clustertrafficking":
+		c = datagen.ClusterTrafficking(datagen.ClusterTraffickingConfig{Seed: *seed, Scale: *ctScale})
+	default:
+		fmt.Fprintf(os.Stderr, "gencorpus: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	if err := write(c, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "gencorpus:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "generated %d documents (%s, seed %d)\n", c.Len(), *kind, *seed)
+}
+
+func write(c *corpus.Corpus, out string) error {
+	if out == "-" {
+		return c.WriteJSONL(os.Stdout)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(out, ".csv") {
+		err = c.WriteCSV(f)
+	} else {
+		err = c.WriteJSONL(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

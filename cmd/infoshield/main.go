@@ -1,0 +1,149 @@
+// Command infoshield runs near-duplicate micro-cluster detection over a
+// document file and reports the discovered templates.
+//
+// Input formats (chosen by extension, or forced with -format):
+//
+//	.jsonl  one JSON document per line ({"text": ...}, see internal/corpus)
+//	.csv    CSV with a header produced by gencorpus, or bare text rows
+//	.txt    one raw document per line
+//
+// Examples:
+//
+//	infoshield ads.csv
+//	infoshield -html report.html tweets.jsonl
+//	cat docs.txt | infoshield -format txt -
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"infoshield"
+	"infoshield/internal/corpus"
+	"infoshield/internal/metrics"
+)
+
+func main() {
+	format := flag.String("format", "", "input format: jsonl, csv, or txt (default: by extension)")
+	htmlOut := flag.String("html", "", "write an HTML report to this file")
+	evalFlag := flag.Bool("eval", false, "score against labels in the input (csv/jsonl with label columns)")
+	noColor := flag.Bool("no-color", false, "plain text output without ANSI colors")
+	maxNgram := flag.Int("max-ngram", 0, "coarse max n-gram length (0 = paper default 5)")
+	topFrac := flag.Float64("top-fraction", 0, "coarse top-phrase fraction (0 = paper default 0.10)")
+	starMSA := flag.Bool("star-msa", false, "use star MSA instead of partial order alignment")
+	noSlots := flag.Bool("no-slots", false, "disable slot detection")
+	workers := flag.Int("workers", 0, "concurrent cluster refinement (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: infoshield [flags] <input file or ->")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	docs, err := readInput(flag.Arg(0), *format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "infoshield:", err)
+		os.Exit(1)
+	}
+	texts := docs.Texts()
+
+	result := infoshield.Detect(texts, infoshield.Config{
+		MaxNgram:          *maxNgram,
+		TopPhraseFraction: *topFrac,
+		UseStarMSA:        *starMSA,
+		DisableSlots:      *noSlots,
+		Workers:           *workers,
+	})
+
+	fmt.Printf("documents: %d   vocabulary: %d   clusters: %d   templates: %d\n\n",
+		len(texts), result.VocabSize(), len(result.Clusters()), result.NumTemplates())
+	if *evalFlag {
+		truth := make([]bool, docs.Len())
+		clusters := make([]int, docs.Len())
+		for i := range docs.Docs {
+			truth[i] = docs.Docs[i].Label
+			clusters[i] = docs.Docs[i].ClusterLabel
+		}
+		conf := metrics.NewConfusion(result.Suspicious(), truth)
+		fmt.Printf("eval: precision %.1f%%  recall %.1f%%  F1 %.1f%%  ARI %.1f\n\n",
+			conf.Precision()*100, conf.Recall()*100, conf.F1()*100,
+			metrics.ARI(result.DocTemplate(), clusters)*100)
+	}
+	for ci, c := range result.Clusters() {
+		fmt.Printf("cluster %d: %d docs, relative length %.4f (lower bound %.4f)\n",
+			ci, len(c.Docs), c.RelativeLength, c.LowerBound)
+		for _, t := range c.Templates {
+			fmt.Printf("  [%d docs, %d slots] %s\n", len(t.Docs), t.Slots, t.Pattern)
+		}
+	}
+	if !*noColor {
+		fmt.Println()
+		result.WriteText(os.Stdout)
+	}
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "infoshield:", err)
+			os.Exit(1)
+		}
+		if err := result.WriteHTML(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "infoshield:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *htmlOut)
+	}
+}
+
+// readInput loads documents from path ("-" = stdin).
+func readInput(path, format string) (*corpus.Corpus, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	if format == "" {
+		switch {
+		case strings.HasSuffix(path, ".jsonl"):
+			format = "jsonl"
+		case strings.HasSuffix(path, ".csv"):
+			format = "csv"
+		default:
+			format = "txt"
+		}
+	}
+	switch format {
+	case "jsonl":
+		return corpus.ReadJSONL(r)
+	case "csv":
+		return corpus.ReadCSV(r)
+	case "txt":
+		var texts []string
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			if line := strings.TrimSpace(sc.Text()); line != "" {
+				texts = append(texts, line)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return corpus.New(texts), nil
+	}
+	return nil, fmt.Errorf("unknown format %q", format)
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadInputTxt(t *testing.T) {
+	path := writeTemp(t, "in.txt", "first doc\n\nsecond doc\n   \nthird\n")
+	c, err := readInput(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 3 || c.Docs[1].Text != "second doc" {
+		t.Errorf("texts = %v", c.Texts())
+	}
+}
+
+func TestReadInputCSVByExtension(t *testing.T) {
+	path := writeTemp(t, "in.csv",
+		"id,text,account,label,cluster_label,ordinal\n0,hello world,u1,true,3,5\n")
+	c, err := readInput(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 || !c.Docs[0].Label || c.Docs[0].ClusterLabel != 3 {
+		t.Errorf("doc = %+v", c.Docs[0])
+	}
+}
+
+func TestReadInputJSONL(t *testing.T) {
+	path := writeTemp(t, "in.jsonl",
+		`{"text":"a b c","label":true,"cluster_label":7}`+"\n"+
+			`{"text":"d e f","cluster_label":-1}`+"\n")
+	c, err := readInput(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 || c.Docs[0].ClusterLabel != 7 {
+		t.Errorf("docs = %+v", c.Docs)
+	}
+}
+
+func TestReadInputForcedFormat(t *testing.T) {
+	// A .dat file parsed as txt.
+	path := writeTemp(t, "in.dat", "one line\n")
+	c, err := readInput(path, "txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d", c.Len())
+	}
+	if _, err := readInput(path, "parquet"); err == nil {
+		t.Error("expected unknown-format error")
+	}
+}
+
+func TestReadInputMissingFile(t *testing.T) {
+	if _, err := readInput("/nonexistent/nope.txt", ""); err == nil {
+		t.Error("expected open error")
+	}
+}

@@ -1,0 +1,61 @@
+package infoshield_test
+
+import (
+	"fmt"
+
+	"infoshield"
+)
+
+// The paper's toy example: product ads sharing one template, scam
+// messages another, and an innocent message left alone. Background
+// documents give MDL a realistic vocabulary to compress against.
+func Example() {
+	docs := []string{
+		"This is a great soap, and the 5 dollar price is great",
+		"This is a great chair, and the 10 dollar price is great",
+		"This is a great hat, and the 3 dollar price is great",
+		"This is a great lamp, and the 9 dollar price is great",
+		"This is a great mug, and the 2 dollar price is great",
+		"This is a great book, and the 7 dollar price is great",
+		"Happy birthday to my dear friend Mike",
+	}
+	for i := 0; i < 30; i++ {
+		docs = append(docs, fmt.Sprintf(
+			"pad%dk pad%dl pad%dm pad%dn pad%do pad%dp pad%dq pad%dr", i, i, i, i, i, i, i, i))
+	}
+
+	result := infoshield.Detect(docs, infoshield.Config{})
+	for _, c := range result.Clusters() {
+		for _, t := range c.Templates {
+			fmt.Printf("%d docs: %s\n", len(t.Docs), t.Pattern)
+		}
+	}
+	fmt.Printf("birthday message suspicious: %v\n", result.Suspicious()[6])
+	// Output:
+	// 6 docs: this is a great * and the * dollar price is great
+	// birthday message suspicious: false
+}
+
+// Slot profiles type the variable fields of a template — the automated
+// version of the paper's Table XI annotations.
+func ExampleResult_SlotProfiles() {
+	docs := []string{
+		"call me at 412-555.1001 before 9pm for the special",
+		"call me at 412-555.1002 before 7pm for the special",
+		"call me at 412-555.1003 before 11am for the special",
+		"call me at 412-555.1004 before 8pm for the special",
+		"call me at 412-555.1005 before 10pm for the special",
+		"call me at 412-555.1006 before 6pm for the special",
+	}
+	for i := 0; i < 300; i++ {
+		docs = append(docs, fmt.Sprintf(
+			"qq%dk qq%dl qq%dm qq%dn qq%do qq%dp qq%dq qq%dr", i, i, i, i, i, i, i, i))
+	}
+	result := infoshield.Detect(docs, infoshield.Config{})
+	for _, p := range result.SlotProfiles(0) {
+		fmt.Printf("%s slot, %d fills\n", p.Kind, p.Fills)
+	}
+	// Output:
+	// phone slot, 6 fills
+	// time slot, 6 fills
+}

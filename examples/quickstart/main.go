@@ -1,0 +1,52 @@
+// Quickstart: the paper's running toy example (Tables II-V).
+//
+// Seven documents — four product ads sharing a template, two scam
+// messages sharing another, one innocent birthday wish — hidden among
+// background chatter. InfoShield finds both templates, marks the variable
+// positions as slots, and leaves the birthday message alone.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"infoshield"
+)
+
+func main() {
+	docs := []string{
+		"This is a great soap, and the 5 dollar price is great",
+		"This is a great chair, and the 10 dollar price is great",
+		"This is a great hat, and the 3 dollar price is great",
+		"This is great blue pen, and the 3 dollar price is so good",
+		"I made 30K working on this job - call 123-456.7890 or visit scam.com",
+		"I made 30K working from home - call 123-456.7890 or visit fraud.com",
+		"Happy birthday to my dear friend Mike",
+	}
+	// A realistic corpus has a large vocabulary of documents that belong
+	// to no cluster; the toy needs the same backdrop for MDL to have
+	// compression headroom (V appears in every coding cost).
+	for i := 0; i < 30; i++ {
+		docs = append(docs, fmt.Sprintf(
+			"unrelated%dq filler%dw chatter%de noise%dr words%dt here%dy only%du once%di",
+			i, i, i, i, i, i, i, i))
+	}
+
+	result := infoshield.Detect(docs, infoshield.Config{})
+
+	fmt.Printf("%d documents -> %d templates\n\n", len(docs), result.NumTemplates())
+	for _, c := range result.Clusters() {
+		for _, t := range c.Templates {
+			fmt.Printf("template (%d docs, %d slots):\n  %s\n  members: %v\n\n",
+				len(t.Docs), t.Slots, t.Pattern, t.Docs)
+		}
+	}
+
+	fmt.Println("full color rendering:")
+	result.WriteText(os.Stdout)
+
+	sus := result.Suspicious()
+	fmt.Printf("\ndoc 6 (%q) suspicious: %v (expected false)\n", docs[6], sus[6])
+}

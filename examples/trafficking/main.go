@@ -1,0 +1,72 @@
+// Human-trafficking triage: the paper's driving application.
+//
+// Generates a Cluster-Trafficking-style ad corpus (spam campaigns, HT
+// "massage parlor" micro-clusters, benign one-off ads), detects the
+// organized activity, and triages the clusters the way Figure 3 suggests:
+// relative length near the Lemma-1 lower bound with many documents means
+// bulk spam; mid-size clusters with slotted variation are the HT-shaped
+// signals an investigator reads first.
+//
+//	go run ./examples/trafficking
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"infoshield"
+	"infoshield/internal/datagen"
+	"infoshield/internal/metrics"
+)
+
+func main() {
+	corpus := datagen.ClusterTrafficking(datagen.ClusterTraffickingConfig{
+		Seed:  9,
+		Scale: 0.02, // ~3k ads
+	})
+	fmt.Printf("corpus: %d ads\n", corpus.Len())
+
+	result := infoshield.Detect(corpus.Texts(), infoshield.Config{})
+
+	truth := make([]bool, corpus.Len())
+	for i, d := range corpus.Docs {
+		truth[i] = d.Label
+	}
+	conf := metrics.NewConfusion(result.Suspicious(), truth)
+	fmt.Printf("precision %.1f%%  recall %.1f%%  (precision is what keeps law enforcement's trust)\n\n",
+		conf.Precision()*100, conf.Recall()*100)
+
+	// Triage: order clusters by size and compression.
+	clusters := result.Clusters()
+	sort.Slice(clusters, func(i, j int) bool { return len(clusters[i].Docs) > len(clusters[j].Docs) })
+	fmt.Printf("%8s %10s %10s   %s\n", "ads", "rel.len", "lower.bd", "template (first)")
+	for i, c := range clusters {
+		if i >= 10 {
+			fmt.Printf("... %d more clusters\n", len(clusters)-10)
+			break
+		}
+		pattern := ""
+		if len(c.Templates) > 0 {
+			pattern = c.Templates[0].Pattern
+			if len(pattern) > 70 {
+				pattern = pattern[:70] + "..."
+			}
+		}
+		fmt.Printf("%8d %10.4f %10.4f   %s\n", len(c.Docs), c.RelativeLength, c.LowerBound, pattern)
+	}
+
+	// The slot content is the investigator's lead sheet: names, times,
+	// prices pulled out of the templates automatically (the paper's
+	// stated future work, Section V-D2).
+	fmt.Println("\nlead sheet for template 0:")
+	for s, p := range result.SlotProfiles(0) {
+		vals := p.Values
+		if len(vals) > 6 {
+			vals = vals[:6]
+		}
+		fmt.Printf("  slot %d: %-6s (%d fills, %.0f%% pure): %v\n",
+			s, p.Kind, p.Fills, p.Purity*100, vals)
+	}
+	fmt.Println("\nan investigator reads ONE template per cluster instead of")
+	fmt.Println("hundreds of ads; the slots point at the victim-specific fields.")
+}

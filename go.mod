@@ -1,0 +1,3 @@
+module infoshield
+
+go 1.22

@@ -1,0 +1,54 @@
+package infoshield
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestGoldenTableIV pins the exact plain-text rendering of the paper's
+// running example (Table IV): the product template with its slot, and
+// doc #4's deletion/insertion/substitution decomposition. Any change to
+// tokenization, alignment, consensus, or slot detection that alters this
+// output fails loudly here.
+func TestGoldenTableIV(t *testing.T) {
+	res := Detect(demoCorpus(), Config{Workers: 1})
+	var buf bytes.Buffer
+	res.WriteText(&buf)
+	out := stripANSI(buf.String())
+
+	golden := []string{
+		"T0  this is a great * and the 3 dollar price is great",
+		"  #0     this is a great soap and the 5 dollar price is great",
+		"  #1     this is a great chair and the 10 dollar price is great",
+		"  #2     this is a great hat and the 3 dollar price is great",
+		"  #3     this is great blue pen and the 3 dollar price is so good",
+		"T1  i made 30k working on this job call 123-456.7890 or visit scam.com",
+		"  #4     i made 30k working on this job call 123-456.7890 or visit scam.com",
+		"  #5     i made 30k working on from home call 123-456.7890 or visit fraud.com",
+	}
+	for _, line := range golden {
+		if !strings.Contains(out, line) {
+			t.Errorf("golden line missing:\n  want %q\n  in:\n%s", line, out)
+		}
+	}
+}
+
+// stripANSI removes color escapes so the golden text is style-agnostic.
+func stripANSI(s string) string {
+	var sb strings.Builder
+	inEsc := false
+	for _, r := range s {
+		switch {
+		case inEsc:
+			if r == 'm' {
+				inEsc = false
+			}
+		case r == '\x1b':
+			inEsc = true
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}

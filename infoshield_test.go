@@ -1,0 +1,112 @@
+package infoshield
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func demoCorpus() []string {
+	docs := []string{
+		"This is a great soap, and the 5 dollar price is great",
+		"This is a great chair, and the 10 dollar price is great",
+		"This is a great hat, and the 3 dollar price is great",
+		"This is great blue pen, and the 3 dollar price is so good",
+		"I made 30K working on this job - call 123-456.7890 or visit scam.com",
+		"I made 30K working from home - call 123-456.7890 or visit fraud.com",
+		"Happy birthday to my dear friend Mike",
+	}
+	for i := 0; i < 30; i++ {
+		docs = append(docs, fmt.Sprintf(
+			"bg%da bg%db bg%dc bg%dd bg%de bg%df bg%dg bg%dh", i, i, i, i, i, i, i, i))
+	}
+	return docs
+}
+
+func TestDetectToyExample(t *testing.T) {
+	res := Detect(demoCorpus(), Config{})
+	if res.NumTemplates() < 2 {
+		t.Fatalf("NumTemplates = %d", res.NumTemplates())
+	}
+	sus := res.Suspicious()
+	for i := 0; i <= 5; i++ {
+		if !sus[i] {
+			t.Errorf("doc %d should be suspicious", i)
+		}
+	}
+	if sus[6] {
+		t.Error("doc 6 should not be suspicious")
+	}
+	// The product template's pattern contains the shared constants.
+	var productPattern string
+	for _, c := range res.Clusters() {
+		for _, tpl := range c.Templates {
+			for _, d := range tpl.Docs {
+				if d == 0 {
+					productPattern = tpl.Pattern
+				}
+			}
+		}
+	}
+	if !strings.Contains(productPattern, "dollar price is") {
+		t.Errorf("product pattern = %q", productPattern)
+	}
+}
+
+func TestDetectClusterDiagnostics(t *testing.T) {
+	res := Detect(demoCorpus(), Config{})
+	for _, c := range res.Clusters() {
+		if c.RelativeLength >= 1 {
+			t.Errorf("relative length %v >= 1", c.RelativeLength)
+		}
+		if c.RelativeLength < c.LowerBound-1e-9 {
+			t.Errorf("relative length %v below bound %v", c.RelativeLength, c.LowerBound)
+		}
+		if len(c.Docs) < 2 {
+			t.Errorf("cluster with %d docs", len(c.Docs))
+		}
+	}
+	if res.VocabSize() < 50 {
+		t.Errorf("VocabSize = %d", res.VocabSize())
+	}
+}
+
+func TestDetectRenderers(t *testing.T) {
+	res := Detect(demoCorpus(), Config{})
+	var text bytes.Buffer
+	res.WriteText(&text)
+	if !strings.Contains(text.String(), "T0") {
+		t.Error("text render missing template label")
+	}
+	var html bytes.Buffer
+	if err := res.WriteHTML(&html); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(html.String(), "<!DOCTYPE html>") {
+		t.Error("html render missing doctype")
+	}
+}
+
+func TestDetectEmpty(t *testing.T) {
+	res := Detect(nil, Config{})
+	if res.NumTemplates() != 0 || len(res.Clusters()) != 0 {
+		t.Error("empty input should produce empty result")
+	}
+}
+
+func TestDetectAblationConfigs(t *testing.T) {
+	docs := demoCorpus()
+	for _, cfg := range []Config{
+		{UseStarMSA: true},
+		{DisableSlots: true},
+		{MaxNgram: 3},
+		{TopPhraseFraction: 0.2},
+		{Workers: 1},
+	} {
+		res := Detect(docs, cfg)
+		if res.NumTemplates() == 0 {
+			t.Errorf("config %+v found nothing", cfg)
+		}
+	}
+}

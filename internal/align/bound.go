@@ -1,0 +1,117 @@
+package align
+
+import "infoshield/internal/mdl"
+
+// TokenCounts returns doc's token multiset as a count map.
+func TokenCounts(doc []int) map[int]int {
+	counts := make(map[int]int, len(doc))
+	for _, t := range doc {
+		counts[t]++
+	}
+	return counts
+}
+
+// Overlap returns the multiset intersection size between a precomputed
+// count map and doc. It is the tight upper bound on how many tokens any
+// alignment can match.
+func Overlap(refCounts map[int]int, doc []int) int {
+	docCounts := TokenCounts(doc)
+	m := 0
+	for t, dc := range docCounts {
+		if rc := refCounts[t]; rc < dc {
+			m += rc
+		} else {
+			m += dc
+		}
+	}
+	return m
+}
+
+// SortedCopy returns doc's tokens in ascending order — the precomputable
+// half of OverlapSorted.
+func SortedCopy(doc []int) []int {
+	s := append([]int(nil), doc...)
+	sortInts(s)
+	return s
+}
+
+// sortInts is an insertion/quick hybrid avoiding the sort package's
+// interface overhead on the short sequences documents produce.
+func sortInts(a []int) {
+	if len(a) < 24 {
+		for i := 1; i < len(a); i++ {
+			for j := i; j > 0 && a[j] < a[j-1]; j-- {
+				a[j], a[j-1] = a[j-1], a[j]
+			}
+		}
+		return
+	}
+	pivot := a[len(a)/2]
+	lo, hi := 0, len(a)-1
+	for lo <= hi {
+		for a[lo] < pivot {
+			lo++
+		}
+		for a[hi] > pivot {
+			hi--
+		}
+		if lo <= hi {
+			a[lo], a[hi] = a[hi], a[lo]
+			lo++
+			hi--
+		}
+	}
+	sortInts(a[:hi+1])
+	sortInts(a[lo:])
+}
+
+// OverlapSorted returns the multiset intersection size of two ascending
+// token slices by linear merge — the allocation-free fast path of the
+// candidate screen (the profile-dominant operation on large clusters).
+func OverlapSorted(a, b []int) int {
+	i, j, m := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			m++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return m
+}
+
+// ConditionalLowerBound returns a lower bound on C(doc|ref) computable in
+// O(len(doc)) — without running the O(len²) alignment DP. Derivation: any
+// alignment has at most `overlap` matches, so at least
+// max(refLen,docLen)-overlap unmatched operations and at least
+// docLen-overlap vocabulary-indexed words, over an alignment of length at
+// least max(refLen,docLen); every term of the Eq. 3 cost is monotone in
+// these quantities.
+//
+// InfoShield-Fine uses this to skip the full alignment for documents that
+// cannot possibly pass the C(d|d1) < C(d) candidate test — the common case
+// inside large, mostly heterogeneous coarse clusters.
+func ConditionalLowerBound(refLen, docLen, overlap, vocabSize int) float64 {
+	alignLen := refLen
+	if docLen > alignLen {
+		alignLen = docLen
+	}
+	unmatched := alignLen - overlap
+	if unmatched < 0 {
+		unmatched = 0
+	}
+	added := docLen - overlap
+	if added < 0 {
+		added = 0
+	}
+	return mdl.DataCostMatched(mdl.AlignStats{
+		AlignLen:   alignLen,
+		Unmatched:  unmatched,
+		AddedWords: added,
+	}, 1, vocabSize)
+}

@@ -1,0 +1,126 @@
+package align
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPairwiseWildMatchesAnywhere(t *testing.T) {
+	ref := []int{1, 2, 3}
+	wild := []bool{false, true, false}
+	// Slot position matches any token at zero cost.
+	a := PairwiseWild(ref, wild, []int{1, 99, 3})
+	if a.Distance() != 0 || a.Matches != 3 {
+		t.Errorf("wild match: %+v", a)
+	}
+	// Non-slot mismatch still costs.
+	a = PairwiseWild(ref, wild, []int{7, 99, 3})
+	if a.Subs != 1 || a.Distance() != 1 {
+		t.Errorf("non-slot sub: %+v", a)
+	}
+}
+
+func TestPairwiseWildNoWildcardsEqualsPairwise(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ref := randSeq(rng, 12, 5)
+		doc := randSeq(rng, 12, 5)
+		wild := make([]bool, len(ref))
+		a := Pairwise(ref, doc)
+		b := PairwiseWild(ref, wild, doc)
+		return a.Distance() == b.Distance() &&
+			a.Matches == b.Matches && a.Len() == b.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding wildcards never increases the distance.
+func TestPairwiseWildMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ref := randSeq(rng, 12, 5)
+		doc := randSeq(rng, 12, 5)
+		if len(ref) == 0 {
+			return true
+		}
+		wild := make([]bool, len(ref))
+		base := PairwiseWild(ref, wild, doc).Distance()
+		wild[rng.Intn(len(wild))] = true
+		return PairwiseWild(ref, wild, doc).Distance() <= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the edit script still reconstructs the document.
+func TestPairwiseWildScriptReconstructs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ref := randSeq(rng, 10, 4)
+		doc := randSeq(rng, 10, 4)
+		wild := make([]bool, len(ref))
+		for i := range wild {
+			wild[i] = rng.Intn(3) == 0
+		}
+		a := PairwiseWild(ref, wild, doc)
+		got := reconstruct(a.Edits)
+		return reflect.DeepEqual(got, doc) || (len(doc) == 0 && len(got) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlapSortedMatchesMapOverlap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSeq(rng, 20, 6)
+		b := randSeq(rng, 20, 6)
+		want := Overlap(TokenCounts(a), b)
+		got := OverlapSorted(SortedCopy(a), SortedCopy(b))
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortedCopy(t *testing.T) {
+	in := []int{5, 1, 4, 1, 3, 9, 2, 6, 8, 7, 0, 10, 30, 20, 15, 12, 11, 25, 24, 23, 22, 21, 19, 18, 17, 16, 14, 13}
+	got := SortedCopy(in)
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("not sorted at %d: %v", i, got)
+		}
+	}
+	if in[0] != 5 {
+		t.Error("SortedCopy mutated its input")
+	}
+	if len(got) != len(in) {
+		t.Errorf("length changed: %d", len(got))
+	}
+}
+
+// Property: the conditional lower bound never exceeds the true cost.
+func TestConditionalLowerBoundAdmissible(t *testing.T) {
+	V := 1 << 12
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ref := randSeq(rng, 15, 6)
+		doc := randSeq(rng, 15, 6)
+		if len(ref) == 0 || len(doc) == 0 {
+			return true
+		}
+		bound := ConditionalLowerBound(len(ref), len(doc),
+			Overlap(TokenCounts(ref), doc), V)
+		return bound <= ConditionalCost(ref, doc, V)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

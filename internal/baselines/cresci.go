@@ -1,0 +1,141 @@
+package baselines
+
+import (
+	"sort"
+
+	"infoshield/internal/corpus"
+)
+
+// CresciDNA is an unsupervised account-level detector in the spirit of
+// Cresci et al.'s DNA-inspired behavioral modeling: each account's tweet
+// stream is encoded as a string over a small behavioral alphabet (what
+// *kind* of tweet it was), and accounts whose behavioral strings share a
+// long common substring with some other account are flagged as a spambot
+// group. The original derives its length threshold from the knee of the
+// LCS-vs-group-size curve; this implementation uses the simpler pairwise
+// criterion LCS >= SimilarityFraction · min(len) (documented substitution,
+// DESIGN.md §3).
+type CresciDNA struct {
+	// SimilarityFraction is the flagging threshold (default 0.8).
+	SimilarityFraction float64
+}
+
+// dnaSymbol encodes one tweet's behavioral type.
+func dnaSymbol(d *corpus.Document) byte {
+	m := d.Meta
+	if m == nil {
+		return 'P'
+	}
+	switch {
+	case m.URLs > 0:
+		return 'U'
+	case m.Mentions > 1:
+		return 'M'
+	case m.Hashtags > 1:
+		return 'H'
+	case m.Retweets > 2:
+		return 'R'
+	default:
+		return 'P'
+	}
+}
+
+// Run labels every document: a document is suspicious iff its account's
+// behavioral DNA is near-duplicated by another account's. Cluster labels
+// group accounts by their best-matching partner chain (union-find over
+// flagged pairs).
+func (c CresciDNA) Run(cp *corpus.Corpus) Result {
+	frac := c.SimilarityFraction
+	if frac == 0 {
+		frac = 0.8
+	}
+	// Build per-account DNA strings, in deterministic account order.
+	order := make([]string, 0)
+	dna := make(map[string][]byte)
+	for i := range cp.Docs {
+		d := &cp.Docs[i]
+		if _, ok := dna[d.Account]; !ok {
+			order = append(order, d.Account)
+		}
+		dna[d.Account] = append(dna[d.Account], dnaSymbol(d))
+	}
+	sort.Strings(order)
+	// Pairwise longest common substring; flag pairs above threshold.
+	flagged := make(map[string]bool)
+	group := make(map[string]int)
+	next := 0
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			a, b := dna[order[i]], dna[order[j]]
+			minLen := len(a)
+			if len(b) < minLen {
+				minLen = len(b)
+			}
+			if minLen == 0 {
+				continue
+			}
+			if longestCommonSubstring(a, b) >= int(frac*float64(minLen)+0.5) {
+				flagged[order[i]] = true
+				flagged[order[j]] = true
+				gi, iok := group[order[i]]
+				gj, jok := group[order[j]]
+				switch {
+				case iok && jok:
+					// Merge: relabel j's group to i's.
+					for k, g := range group {
+						if g == gj {
+							group[k] = gi
+						}
+					}
+				case iok:
+					group[order[j]] = gi
+				case jok:
+					group[order[i]] = gj
+				default:
+					group[order[i]] = next
+					group[order[j]] = next
+					next++
+				}
+			}
+		}
+	}
+	res := Result{
+		Pred:     make([]bool, cp.Len()),
+		Clusters: make([]int, cp.Len()),
+	}
+	for i := range cp.Docs {
+		acct := cp.Docs[i].Account
+		res.Pred[i] = flagged[acct]
+		if g, ok := group[acct]; ok {
+			res.Clusters[i] = g
+		} else {
+			res.Clusters[i] = -1
+		}
+	}
+	return res
+}
+
+// longestCommonSubstring returns the length of the longest contiguous
+// substring common to a and b (classic O(|a|·|b|) DP, rolling rows).
+func longestCommonSubstring(a, b []byte) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	best := 0
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+				if cur[j] > best {
+					best = cur[j]
+				}
+			} else {
+				cur[j] = 0
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return best
+}

@@ -1,0 +1,188 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"infoshield/internal/corpus"
+)
+
+// FeatureSet extracts a feature vector from a document's platform
+// metadata. The three sets mirror the flavor of the paper's supervised
+// baselines: BotOrNot uses everything, Yang et al. lean on account-level
+// and graph-ish features, Ahmed & Abulaish on content-count statistics.
+type FeatureSet struct {
+	Name    string
+	Extract func(d *corpus.Document) []float64
+}
+
+// BotOrNotFeatures uses the full metadata vector.
+var BotOrNotFeatures = FeatureSet{
+	Name: "botornot",
+	Extract: func(d *corpus.Document) []float64 {
+		m := meta(d)
+		return []float64{
+			float64(m.Retweets), float64(m.Favorites), float64(m.Mentions),
+			float64(m.URLs), float64(m.Hashtags), m.FollowerRate,
+			float64(m.AccountAge) / 365, math.Log1p(m.PostGapSecs),
+		}
+	},
+}
+
+// YangFeatures uses account-profile features.
+var YangFeatures = FeatureSet{
+	Name: "yang",
+	Extract: func(d *corpus.Document) []float64 {
+		m := meta(d)
+		return []float64{
+			m.FollowerRate, float64(m.AccountAge) / 365, math.Log1p(m.PostGapSecs),
+		}
+	},
+}
+
+// AhmedFeatures uses content-count statistics.
+var AhmedFeatures = FeatureSet{
+	Name: "ahmed",
+	Extract: func(d *corpus.Document) []float64 {
+		m := meta(d)
+		return []float64{
+			float64(m.URLs), float64(m.Hashtags), float64(m.Mentions),
+			float64(m.Retweets),
+		}
+	},
+}
+
+func meta(d *corpus.Document) *corpus.Meta {
+	if d.Meta != nil {
+		return d.Meta
+	}
+	return &corpus.Meta{}
+}
+
+// LogReg is L2-regularized logistic regression trained by SGD — the
+// from-scratch classifier under every supervised baseline.
+type LogReg struct {
+	W    []float64
+	B    float64
+	mean []float64
+	std  []float64
+}
+
+// TrainLogReg fits a logistic regression on standardized features.
+func TrainLogReg(features [][]float64, labels []bool, seed int64) *LogReg {
+	if len(features) == 0 {
+		return &LogReg{}
+	}
+	dim := len(features[0])
+	lr := &LogReg{
+		W:    make([]float64, dim),
+		mean: make([]float64, dim),
+		std:  make([]float64, dim),
+	}
+	// Standardize.
+	for _, f := range features {
+		for j, v := range f {
+			lr.mean[j] += v
+		}
+	}
+	for j := range lr.mean {
+		lr.mean[j] /= float64(len(features))
+	}
+	for _, f := range features {
+		for j, v := range f {
+			d := v - lr.mean[j]
+			lr.std[j] += d * d
+		}
+	}
+	for j := range lr.std {
+		lr.std[j] = math.Sqrt(lr.std[j] / float64(len(features)))
+		if lr.std[j] == 0 {
+			lr.std[j] = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const (
+		epochs = 30
+		eta    = 0.1
+		lambda = 1e-4
+	)
+	idx := make([]int, len(features))
+	for i := range idx {
+		idx[i] = i
+	}
+	x := make([]float64, dim)
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for _, i := range idx {
+			lr.standardize(features[i], x)
+			y := 0.0
+			if labels[i] {
+				y = 1
+			}
+			p := lr.prob(x)
+			g := p - y
+			for j := range lr.W {
+				lr.W[j] -= eta * (g*x[j] + lambda*lr.W[j])
+			}
+			lr.B -= eta * g
+		}
+	}
+	return lr
+}
+
+func (lr *LogReg) standardize(f, out []float64) {
+	for j, v := range f {
+		out[j] = (v - lr.mean[j]) / lr.std[j]
+	}
+}
+
+func (lr *LogReg) prob(x []float64) float64 {
+	z := lr.B
+	for j, w := range lr.W {
+		z += w * x[j]
+	}
+	if z > 30 {
+		return 1
+	}
+	if z < -30 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// Prob returns P(suspicious) for a raw feature vector.
+func (lr *LogReg) Prob(f []float64) float64 {
+	if len(lr.W) == 0 {
+		return 0
+	}
+	x := make([]float64, len(f))
+	lr.standardize(f, x)
+	return lr.prob(x)
+}
+
+// SupervisedDetector pairs a feature set with a trained classifier.
+type SupervisedDetector struct {
+	Features FeatureSet
+	Model    *LogReg
+}
+
+// TrainSupervised fits a detector on a labeled training corpus.
+func TrainSupervised(train *corpus.Corpus, fs FeatureSet, seed int64) *SupervisedDetector {
+	feats := make([][]float64, train.Len())
+	labels := make([]bool, train.Len())
+	for i := range train.Docs {
+		feats[i] = fs.Extract(&train.Docs[i])
+		labels[i] = train.Docs[i].Label
+	}
+	return &SupervisedDetector{Features: fs, Model: TrainLogReg(feats, labels, seed)}
+}
+
+// Run predicts on a test corpus (threshold 0.5). Supervised detectors do
+// not produce clusters.
+func (d *SupervisedDetector) Run(test *corpus.Corpus) Result {
+	pred := make([]bool, test.Len())
+	for i := range test.Docs {
+		pred[i] = d.Model.Prob(d.Features.Extract(&test.Docs[i])) >= 0.5
+	}
+	return Result{Pred: pred}
+}

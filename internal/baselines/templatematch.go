@@ -1,0 +1,86 @@
+package baselines
+
+import (
+	"infoshield/internal/lsh"
+	"infoshield/internal/tokenize"
+)
+
+// TemplateMatching is an unsupervised baseline in the spirit of Li et
+// al.'s "unsupervised scalable text template matching" (IEEE Big Data
+// 2018) — the first anti-HT clustering method, which the paper contrasts
+// with in Table I ("interpretability of clusters is limited, and the
+// algorithm isn't scalable"). This reconstruction: MinHash-LSH candidate
+// groups over token shingles, kept when the group's average pairwise
+// Jaccard estimate clears a threshold. No MDL, no slot detection — the
+// two things InfoShield adds.
+type TemplateMatching struct {
+	// NumHashes is the MinHash signature length (default 128).
+	NumHashes int
+	// Bands is the LSH band count (default 32).
+	Bands int
+	// Shingle is the token-shingle width (default 3).
+	Shingle int
+	// MinJaccard keeps a group only if its members' mean estimated
+	// similarity to the group's first member clears it (default 0.35 —
+	// the kind of hand-tuned knob the paper's "parameter-free" row
+	// criticizes).
+	MinJaccard float64
+	// Seed drives the hash family.
+	Seed uint64
+}
+
+func (tm TemplateMatching) withDefaults() TemplateMatching {
+	if tm.NumHashes == 0 {
+		tm.NumHashes = 128
+	}
+	if tm.Bands == 0 {
+		tm.Bands = 32
+	}
+	if tm.Shingle == 0 {
+		tm.Shingle = 3
+	}
+	if tm.MinJaccard == 0 {
+		tm.MinJaccard = 0.35
+	}
+	return tm
+}
+
+// Run clusters texts and returns per-document predictions and cluster
+// labels (-1 = unclustered).
+func (tm TemplateMatching) Run(texts []string) Result {
+	tm = tm.withDefaults()
+	var tk tokenize.Tokenizer
+	m := lsh.NewMinHasher(tm.NumHashes, tm.Shingle, tm.Seed)
+	sigs := make([][]uint64, len(texts))
+	for i, t := range texts {
+		sigs[i] = m.Signature(tk.Tokens(t))
+	}
+	res := Result{
+		Pred:     make([]bool, len(texts)),
+		Clusters: make([]int, len(texts)),
+	}
+	for i := range res.Clusters {
+		res.Clusters[i] = -1
+	}
+	next := 0
+	for _, group := range lsh.Bands(sigs, tm.Bands) {
+		// Verify the LSH candidates: keep members similar enough to the
+		// group's first document.
+		var kept []int
+		for _, d := range group {
+			if d == group[0] ||
+				lsh.EstimateJaccard(sigs[group[0]], sigs[d]) >= tm.MinJaccard {
+				kept = append(kept, d)
+			}
+		}
+		if len(kept) < 2 {
+			continue
+		}
+		for _, d := range kept {
+			res.Pred[d] = true
+			res.Clusters[d] = next
+		}
+		next++
+	}
+	return res
+}

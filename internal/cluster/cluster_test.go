@@ -1,0 +1,266 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// blobs generates k well-separated gaussian-ish blobs plus uniform noise.
+func blobs(rng *rand.Rand, k, perBlob, noise int) (points [][]float64, truth []int) {
+	for b := 0; b < k; b++ {
+		cx, cy := float64(b*20), float64((b%2)*20)
+		for i := 0; i < perBlob; i++ {
+			points = append(points, []float64{
+				cx + rng.NormFloat64(),
+				cy + rng.NormFloat64(),
+			})
+			truth = append(truth, b)
+		}
+	}
+	for i := 0; i < noise; i++ {
+		points = append(points, []float64{
+			rng.Float64()*200 - 100,
+			rng.Float64()*200 - 100,
+		})
+		truth = append(truth, -1)
+	}
+	return points, truth
+}
+
+func TestHDBSCANFindsBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	points, truth := blobs(rng, 3, 30, 0)
+	labels := HDBSCAN(points, 5)
+	// Every blob should be (almost) pure: points of the same blob share
+	// a label, and different blobs differ.
+	blobLabel := map[int]int{}
+	errors := 0
+	for i, l := range labels {
+		if l == -1 {
+			errors++
+			continue
+		}
+		if want, ok := blobLabel[truth[i]]; ok {
+			if l != want {
+				errors++
+			}
+		} else {
+			blobLabel[truth[i]] = l
+		}
+	}
+	if errors > 5 {
+		t.Errorf("%d of %d points mislabeled; labels=%v", errors, len(points), labels)
+	}
+	if len(blobLabel) != 3 {
+		t.Errorf("found %d clusters, want 3", len(blobLabel))
+	}
+}
+
+func TestHDBSCANNoiseRejection(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	points, truth := blobs(rng, 2, 40, 30)
+	labels := HDBSCAN(points, 5)
+	noiseCorrect, noiseTotal := 0, 0
+	for i, l := range labels {
+		if truth[i] == -1 {
+			noiseTotal++
+			if l == -1 {
+				noiseCorrect++
+			}
+		}
+	}
+	if noiseTotal == 0 {
+		t.Fatal("no noise generated")
+	}
+	// HDBSCAN legitimately picks up loose noise agglomerates of at least
+	// minClusterSize points and labels stragglers that merged into a blob
+	// before its birth split; require only that a solid plurality of the
+	// uniform noise is rejected, and that the blobs stay pure.
+	if float64(noiseCorrect)/float64(noiseTotal) < 0.4 {
+		t.Errorf("only %d/%d noise points labeled noise", noiseCorrect, noiseTotal)
+	}
+	blobPurity := 0
+	for i, l := range labels {
+		if truth[i] >= 0 && l >= 0 {
+			blobPurity++
+		}
+	}
+	if blobPurity < 70 { // 80 blob points
+		t.Errorf("blob coverage %d/80", blobPurity)
+	}
+}
+
+func TestHDBSCANUniformIsAllNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	points := make([][]float64, 60)
+	for i := range points {
+		points[i] = []float64{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	labels := HDBSCAN(points, 5)
+	clustered := 0
+	for _, l := range labels {
+		if l >= 0 {
+			clustered++
+		}
+	}
+	// Uniform data has no stable clusters; allow a little spurious
+	// structure but most points must be noise.
+	if clustered > len(points)/2 {
+		t.Errorf("%d of %d uniform points clustered", clustered, len(points))
+	}
+}
+
+func TestHDBSCANMicroClusters(t *testing.T) {
+	// The paper's setting: tiny dense clusters in a sea of noise,
+	// minClusterSize=3 (the baselines' configuration).
+	rng := rand.New(rand.NewSource(4))
+	var points [][]float64
+	for c := 0; c < 4; c++ {
+		cx := float64(c * 50)
+		for i := 0; i < 4; i++ {
+			points = append(points, []float64{cx + rng.NormFloat64()*0.1, rng.NormFloat64() * 0.1})
+		}
+	}
+	for i := 0; i < 40; i++ {
+		points = append(points, []float64{rng.Float64()*1000 - 500, rng.Float64()*1000 + 100})
+	}
+	labels := HDBSCAN(points, 3)
+	found := map[int]bool{}
+	for i := 0; i < 16; i++ {
+		if labels[i] >= 0 {
+			found[labels[i]] = true
+		}
+	}
+	if len(found) < 3 {
+		t.Errorf("found %d micro-clusters of 4: labels[:16]=%v", len(found), labels[:16])
+	}
+}
+
+func TestHDBSCANDegenerate(t *testing.T) {
+	if got := HDBSCAN(nil, 3); len(got) != 0 {
+		t.Errorf("empty input: %v", got)
+	}
+	labels := HDBSCAN([][]float64{{1, 2}, {3, 4}}, 5)
+	for _, l := range labels {
+		if l != -1 {
+			t.Errorf("too-few points should all be noise: %v", labels)
+		}
+	}
+	// Identical points: either one cluster or all noise, but no panic and
+	// consistent labels.
+	pts := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	labels = HDBSCAN(pts, 3)
+	for _, l := range labels[1:] {
+		if l != labels[0] {
+			t.Errorf("identical points got split: %v", labels)
+		}
+	}
+}
+
+// Property: labels are always -1 or a dense range starting at 0, and the
+// function never panics on random input.
+func TestHDBSCANLabelInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(60) + 5
+		points := make([][]float64, n)
+		for i := range points {
+			points[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+		}
+		labels := HDBSCAN(points, 3)
+		maxL := -1
+		for _, l := range labels {
+			if l < -1 {
+				return false
+			}
+			if l > maxL {
+				maxL = l
+			}
+		}
+		seen := make([]bool, maxL+1)
+		for _, l := range labels {
+			if l >= 0 {
+				seen[l] = true
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false // gap in label range
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDBSCANFindsBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	points, truth := blobs(rng, 3, 25, 10)
+	labels := DBSCAN(points, 3.0, 4)
+	blobLabel := map[int]int{}
+	wrong := 0
+	for i, l := range labels {
+		if truth[i] == -1 {
+			continue
+		}
+		if l == -1 {
+			wrong++
+			continue
+		}
+		if want, ok := blobLabel[truth[i]]; ok && l != want {
+			wrong++
+		} else {
+			blobLabel[truth[i]] = l
+		}
+	}
+	if wrong > 4 {
+		t.Errorf("%d blob points mislabeled", wrong)
+	}
+}
+
+func TestDBSCANAllNoise(t *testing.T) {
+	points := [][]float64{{0, 0}, {100, 100}, {200, 0}}
+	labels := DBSCAN(points, 1.0, 2)
+	for _, l := range labels {
+		if l != -1 {
+			t.Errorf("isolated points should be noise: %v", labels)
+		}
+	}
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	points, truth := blobs(rng, 3, 30, 0)
+	labels := KMeans(points, 3, 7)
+	// Purity: majority label per blob should cover nearly all members.
+	counts := map[[2]int]int{}
+	for i, l := range labels {
+		counts[[2]int{truth[i], l}]++
+	}
+	pure := 0
+	for b := 0; b < 3; b++ {
+		best := 0
+		for l := 0; l < 3; l++ {
+			if c := counts[[2]int{b, l}]; c > best {
+				best = c
+			}
+		}
+		pure += best
+	}
+	if pure < 85 {
+		t.Errorf("purity %d/90", pure)
+	}
+}
+
+func TestKMeansDegenerate(t *testing.T) {
+	if got := KMeans(nil, 3, 1); len(got) != 0 {
+		t.Errorf("empty: %v", got)
+	}
+	labels := KMeans([][]float64{{1}, {2}}, 5, 1)
+	if len(labels) != 2 {
+		t.Errorf("k>n labels: %v", labels)
+	}
+}

@@ -1,0 +1,52 @@
+package cluster
+
+// DBSCAN labels points by density connectivity (Ester et al. 1996): a
+// point with at least minPts neighbors within eps is a core point; core
+// points within eps of each other share a cluster; border points join a
+// neighboring core's cluster; the rest are noise (-1). Exact O(n²).
+func DBSCAN(points [][]float64, eps float64, minPts int) []int {
+	n := len(points)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -2 // unvisited
+	}
+	neighbors := func(i int) []int {
+		var out []int
+		for j := 0; j < n; j++ {
+			if euclidean(points[i], points[j]) <= eps {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	cluster := 0
+	for i := 0; i < n; i++ {
+		if labels[i] != -2 {
+			continue
+		}
+		nb := neighbors(i)
+		if len(nb) < minPts {
+			labels[i] = -1
+			continue
+		}
+		labels[i] = cluster
+		queue := append([]int(nil), nb...)
+		for len(queue) > 0 {
+			q := queue[0]
+			queue = queue[1:]
+			if labels[q] == -1 {
+				labels[q] = cluster // border point
+			}
+			if labels[q] != -2 {
+				continue
+			}
+			labels[q] = cluster
+			qnb := neighbors(q)
+			if len(qnb) >= minPts {
+				queue = append(queue, qnb...)
+			}
+		}
+		cluster++
+	}
+	return labels
+}

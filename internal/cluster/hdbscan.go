@@ -1,0 +1,339 @@
+// Package cluster implements the density-based clustering algorithms the
+// paper's baselines and related work rely on: HDBSCAN (McInnes, Healy &
+// Astels 2017 — the clusterer behind Word2Vec-cl/Doc2Vec-cl/FastText-cl,
+// with minimum cluster size 3), plus DBSCAN and k-means for the
+// related-work comparisons.
+//
+// All algorithms take dense float64 points and return integer labels with
+// -1 meaning noise. Implementations are exact (no index structures):
+// O(n²) distance work, which is the right trade-off at the corpus sizes
+// the benchmarks run.
+package cluster
+
+import (
+	"math"
+	"sort"
+)
+
+// euclidean returns the L2 distance between two points.
+func euclidean(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// HDBSCAN clusters points hierarchically by density and extracts the
+// flat clustering with maximum total stability (excess-of-mass). Points
+// in no stable cluster are labeled -1. minClusterSize doubles as minPts
+// for core distances, following the reference implementation's default.
+func HDBSCAN(points [][]float64, minClusterSize int) []int {
+	n := len(points)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	if n == 0 || minClusterSize < 2 || n < minClusterSize {
+		return labels
+	}
+	core := coreDistances(points, minClusterSize)
+	edges := mstEdges(points, core)
+	tree := buildCondensedTree(edges, n, minClusterSize)
+	selected := tree.selectEOM()
+	// Label points by selected cluster, in deterministic cluster order.
+	next := 0
+	ids := make([]int, 0, len(selected))
+	for c := range selected {
+		ids = append(ids, c)
+	}
+	sort.Ints(ids)
+	for _, c := range ids {
+		for _, p := range tree.members(c) {
+			labels[p] = next
+		}
+		next++
+	}
+	return labels
+}
+
+// coreDistances returns each point's distance to its (k-1)-th nearest
+// neighbor (itself included, as in the reference implementation).
+func coreDistances(points [][]float64, k int) []float64 {
+	n := len(points)
+	core := make([]float64, n)
+	dists := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			dists[j] = euclidean(points[i], points[j])
+		}
+		sort.Float64s(dists)
+		idx := k - 1
+		if idx >= n {
+			idx = n - 1
+		}
+		core[i] = dists[idx]
+	}
+	return core
+}
+
+// mstEdge is one mutual-reachability MST edge.
+type mstEdge struct {
+	a, b int
+	w    float64
+}
+
+// mstEdges computes the minimum spanning tree of the mutual-reachability
+// graph with Prim's algorithm (dense O(n²)).
+func mstEdges(points [][]float64, core []float64) []mstEdge {
+	n := len(points)
+	inTree := make([]bool, n)
+	best := make([]float64, n)
+	from := make([]int, n)
+	for i := range best {
+		best[i] = math.Inf(1)
+	}
+	edges := make([]mstEdge, 0, n-1)
+	cur := 0
+	inTree[0] = true
+	for len(edges) < n-1 {
+		// Relax from cur.
+		for j := 0; j < n; j++ {
+			if inTree[j] {
+				continue
+			}
+			d := euclidean(points[cur], points[j])
+			if core[cur] > d {
+				d = core[cur]
+			}
+			if core[j] > d {
+				d = core[j]
+			}
+			if d < best[j] {
+				best[j] = d
+				from[j] = cur
+			}
+		}
+		// Pick the nearest outside point.
+		nextP, nextD := -1, math.Inf(1)
+		for j := 0; j < n; j++ {
+			if !inTree[j] && best[j] < nextD {
+				nextP, nextD = j, best[j]
+			}
+		}
+		if nextP < 0 {
+			break
+		}
+		inTree[nextP] = true
+		edges = append(edges, mstEdge{from[nextP], nextP, nextD})
+		cur = nextP
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].w < edges[j].w })
+	return edges
+}
+
+// condensedTree is the minClusterSize-condensed cluster hierarchy.
+type condensedTree struct {
+	n int
+	// For cluster id c (c >= n are internal clusters; the root is the
+	// largest id): children clusters, member points with their fall-out
+	// lambda, birth lambda, and stability.
+	children  map[int][]int
+	points    map[int][]int
+	birth     map[int]float64
+	stability map[int]float64
+	root      int
+}
+
+// lambdaCap bounds 1/distance so duplicate points (distance 0) do not
+// inject infinities into stability arithmetic.
+const lambdaCap = 1e12
+
+// buildCondensedTree runs single-linkage over the sorted MST edges and
+// condenses: a split is real only when both sides have at least
+// minClusterSize points; smaller sides "fall out" of the parent.
+func buildCondensedTree(edges []mstEdge, n, minClusterSize int) *condensedTree {
+	// Single-linkage dendrogram via union-find, assigning internal node
+	// ids n, n+1, ... in merge order (ascending distance).
+	parent := make([]int, n+len(edges))
+	size := make([]int, n+len(edges))
+	node := make([]int, n+len(edges)) // current dendrogram node of each set root
+	for i := range parent {
+		parent[i] = i
+		size[i] = 1
+		node[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	dendro := make([]dendroNode, 0, len(edges))
+	for _, e := range edges {
+		ra, rb := find(e.a), find(e.b)
+		if ra == rb {
+			continue
+		}
+		id := n + len(dendro)
+		dendro = append(dendro, dendroNode{node[ra], node[rb], e.w, size[ra] + size[rb]})
+		parent[ra] = rb
+		size[rb] += size[ra]
+		node[rb] = id
+	}
+	t := &condensedTree{
+		n:         n,
+		children:  make(map[int][]int),
+		points:    make(map[int][]int),
+		birth:     make(map[int]float64),
+		stability: make(map[int]float64),
+	}
+	if len(dendro) == 0 {
+		t.root = 0
+		return t
+	}
+	rootDendro := n + len(dendro) - 1
+	t.root = rootDendro
+	t.birth[rootDendro] = 0
+
+	dendroSize := func(id int) int {
+		if id < n {
+			return 1
+		}
+		return dendro[id-n].size
+	}
+	// Walk top-down. Each condensed cluster c tracks the dendrogram nodes
+	// it currently spans; splits where both sides >= minClusterSize open
+	// new condensed clusters, otherwise small sides fall out as points.
+	type frame struct {
+		dendroID  int
+		clusterID int
+	}
+	stack := []frame{{rootDendro, rootDendro}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.dendroID < n {
+			// Single-point remainder: it leaves its cluster "at the end";
+			// no stability contribution beyond what was already credited.
+			t.points[f.clusterID] = append(t.points[f.clusterID], f.dendroID)
+			continue
+		}
+		d := dendro[f.dendroID-n]
+		lambda := lambdaCap
+		if d.dist > 0 && 1/d.dist < lambdaCap {
+			lambda = 1 / d.dist
+		}
+		credit := lambda - t.birth[f.clusterID]
+		ls, rs := dendroSize(d.left), dendroSize(d.right)
+		switch {
+		case ls >= minClusterSize && rs >= minClusterSize:
+			// True split: every remaining point leaves the parent here
+			// (the credit the excess-of-mass comparison hinges on), and
+			// two child clusters are born at this lambda.
+			t.stability[f.clusterID] += credit * float64(ls+rs)
+			for _, side := range [2]int{d.left, d.right} {
+				t.children[f.clusterID] = append(t.children[f.clusterID], side)
+				t.birth[side] = lambda
+				stack = append(stack, frame{side, side})
+			}
+		case ls >= minClusterSize:
+			t.stability[f.clusterID] += credit * float64(rs)
+			t.fallOut(f.clusterID, d.right, dendro, n)
+			stack = append(stack, frame{d.left, f.clusterID})
+		case rs >= minClusterSize:
+			t.stability[f.clusterID] += credit * float64(ls)
+			t.fallOut(f.clusterID, d.left, dendro, n)
+			stack = append(stack, frame{d.right, f.clusterID})
+		default:
+			// Cluster dissolves entirely at this lambda.
+			t.stability[f.clusterID] += credit * float64(ls+rs)
+			t.fallOut(f.clusterID, d.left, dendro, n)
+			t.fallOut(f.clusterID, d.right, dendro, n)
+		}
+	}
+	return t
+}
+
+// dendroNode is one internal node of the single-linkage dendrogram.
+type dendroNode struct {
+	left, right int
+	dist        float64
+	size        int
+}
+
+// fallOut records every point under dendro node id as a member that left
+// cluster c (the stability credit is applied by the caller).
+func (t *condensedTree) fallOut(c, id int, dendro []dendroNode, n int) {
+	stack := []int{id}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x < n {
+			t.points[c] = append(t.points[c], x)
+			continue
+		}
+		d := dendro[x-n]
+		stack = append(stack, d.left, d.right)
+	}
+}
+
+// members returns all points in cluster c including its descendants.
+func (t *condensedTree) members(c int) []int {
+	var out []int
+	stack := []int{c}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, t.points[x]...)
+		stack = append(stack, t.children[x]...)
+	}
+	return out
+}
+
+// subtreeStability returns the max total stability achievable in c's
+// subtree, memoized into chosen: true means c itself is selected.
+func (t *condensedTree) selectEOM() map[int]bool {
+	selected := make(map[int]bool)
+	var visit func(c int) float64
+	visit = func(c int) float64 {
+		childSum := 0.0
+		for _, ch := range t.children[c] {
+			childSum += visit(ch)
+		}
+		if len(t.children[c]) > 0 && childSum > t.stability[c] {
+			return childSum
+		}
+		// Select c; deselect any descendants.
+		var clear func(int)
+		clear = func(x int) {
+			delete(selected, x)
+			for _, ch := range t.children[x] {
+				clear(ch)
+			}
+		}
+		for _, ch := range t.children[c] {
+			clear(ch)
+		}
+		selected[c] = true
+		return t.stability[c]
+	}
+	if t.root >= t.n || len(t.points[t.root]) > 0 {
+		visit(t.root)
+	}
+	// The root is conventionally never a cluster (it is "everything");
+	// deselect it unless it has no children at all.
+	if selected[t.root] && len(t.children[t.root]) > 0 {
+		delete(selected, t.root)
+	} else if selected[t.root] {
+		// Root selected with no real splits: whole data is one cluster —
+		// in HDBSCAN semantics that means no meaningful structure; treat
+		// all points as noise, like the reference implementation with
+		// allow_single_cluster=False.
+		delete(selected, t.root)
+	}
+	return selected
+}

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+)
+
+// KMeans runs Lloyd's algorithm with k-means++ seeding. It always assigns
+// every point (no noise label), the property that makes k-means a poor
+// fit for the paper's micro-cluster setting — included for the
+// related-work comparison. Deterministic per seed.
+func KMeans(points [][]float64, k int, seed int64) []int {
+	n := len(points)
+	labels := make([]int, n)
+	if n == 0 || k <= 0 {
+		return labels
+	}
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dim := len(points[0])
+	centers := kmeansPlusPlus(points, k, rng)
+	for iter := 0; iter < 100; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range centers {
+				if d := euclidean(p, centers[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		counts := make([]int, k)
+		for c := range centers {
+			for d := 0; d < dim; d++ {
+				centers[c][d] = 0
+			}
+		}
+		for i, p := range points {
+			c := labels[i]
+			counts[c]++
+			for d := 0; d < dim; d++ {
+				centers[c][d] += p[d]
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				// Re-seed an empty center on a random point.
+				copy(centers[c], points[rng.Intn(n)])
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				centers[c][d] /= float64(counts[c])
+			}
+		}
+	}
+	return labels
+}
+
+// kmeansPlusPlus picks k initial centers proportional to squared distance
+// from the chosen set.
+func kmeansPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(points)
+	centers := make([][]float64, 0, k)
+	first := points[rng.Intn(n)]
+	centers = append(centers, append([]float64(nil), first...))
+	d2 := make([]float64, n)
+	for len(centers) < k {
+		total := 0.0
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if d := euclidean(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best * best
+			total += d2[i]
+		}
+		if total == 0 {
+			centers = append(centers, append([]float64(nil), points[rng.Intn(n)]...))
+			continue
+		}
+		r := rng.Float64() * total
+		for i := range d2 {
+			r -= d2[i]
+			if r <= 0 {
+				centers = append(centers, append([]float64(nil), points[i]...))
+				break
+			}
+		}
+		if r > 0 {
+			centers = append(centers, append([]float64(nil), points[n-1]...))
+		}
+	}
+	return centers
+}

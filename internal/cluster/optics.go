@@ -1,0 +1,266 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+)
+
+// OPTICSPoint is one entry of the OPTICS ordering: the point's position
+// in the reachability plot.
+type OPTICSPoint struct {
+	Index        int
+	Reachability float64 // +Inf for the first point of each component
+	Core         float64 // core distance, +Inf if not a core point
+}
+
+// OPTICS computes the density-based cluster ordering of Ankerst et al.
+// (1999) — cited in the paper's related work — with an unbounded eps
+// (exact O(n²)). The ordering plus ExtractDBSCAN reproduce DBSCAN at any
+// eps' without re-running.
+func OPTICS(points [][]float64, minPts int) []OPTICSPoint {
+	n := len(points)
+	order := make([]OPTICSPoint, 0, n)
+	if n == 0 {
+		return order
+	}
+	core := coreDistances(points, minPts)
+	reach := make([]float64, n)
+	processed := make([]bool, n)
+	for i := range reach {
+		reach[i] = math.Inf(1)
+	}
+	for start := 0; start < n; start++ {
+		if processed[start] {
+			continue
+		}
+		// Seed a new component.
+		seeds := []int{start}
+		for len(seeds) > 0 {
+			// Pop the unprocessed seed with smallest reachability
+			// (ties: smallest index, for determinism).
+			best := -1
+			for _, s := range seeds {
+				if processed[s] {
+					continue
+				}
+				if best == -1 || reach[s] < reach[best] ||
+					(reach[s] == reach[best] && s < best) {
+					best = s
+				}
+			}
+			if best == -1 {
+				break
+			}
+			processed[best] = true
+			order = append(order, OPTICSPoint{
+				Index: best, Reachability: reach[best], Core: core[best],
+			})
+			// Update reachabilities through best.
+			var next []int
+			for j := 0; j < n; j++ {
+				if processed[j] {
+					continue
+				}
+				d := euclidean(points[best], points[j])
+				r := math.Max(core[best], d)
+				if r < reach[j] {
+					reach[j] = r
+				}
+				next = append(next, j)
+			}
+			seeds = next
+		}
+	}
+	return order
+}
+
+// ExtractDBSCAN cuts the OPTICS ordering at eps, yielding the DBSCAN
+// clustering at that radius: labels with -1 noise.
+func ExtractDBSCAN(order []OPTICSPoint, eps float64, n int) []int {
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	cluster := -1
+	for _, p := range order {
+		// Infinite reachability (a component's first point) always starts
+		// fresh, even at eps = +Inf.
+		if p.Reachability > eps || math.IsInf(p.Reachability, 1) {
+			if p.Core <= eps {
+				cluster++
+				labels[p.Index] = cluster
+			}
+			continue
+		}
+		if cluster >= 0 {
+			labels[p.Index] = cluster
+		}
+	}
+	return labels
+}
+
+// GMeans is the parameter-free k-means variant the paper name-checks
+// ("some methods are parameter-free (G-means)"): start with one cluster
+// and recursively split any cluster whose points, projected onto the
+// split direction, fail an Anderson-Darling normality test.
+func GMeans(points [][]float64, seed int64, maxK int) []int {
+	n := len(points)
+	labels := make([]int, n)
+	if n == 0 {
+		return labels
+	}
+	if maxK <= 0 {
+		maxK = 16
+	}
+	// Work queue of clusters (as index lists).
+	type job struct{ idx []int }
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	queue := []job{{all}}
+	next := 0
+	k := 1
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+		if len(j.idx) < 8 || k >= maxK {
+			assign(labels, j.idx, next)
+			next++
+			continue
+		}
+		sub := make([][]float64, len(j.idx))
+		for i, d := range j.idx {
+			sub[i] = points[d]
+		}
+		twoLabels := KMeans(sub, 2, seed+int64(next))
+		if !splitRejected(sub, twoLabels) {
+			// Looks Gaussian: keep as one cluster.
+			assign(labels, j.idx, next)
+			next++
+			continue
+		}
+		var left, right []int
+		for i, l := range twoLabels {
+			if l == 0 {
+				left = append(left, j.idx[i])
+			} else {
+				right = append(right, j.idx[i])
+			}
+		}
+		if len(left) == 0 || len(right) == 0 {
+			assign(labels, j.idx, next)
+			next++
+			continue
+		}
+		k++
+		queue = append(queue, job{left}, job{right})
+	}
+	return labels
+}
+
+func assign(labels, idx []int, c int) {
+	for _, d := range idx {
+		labels[d] = c
+	}
+}
+
+// splitRejected projects the cluster onto the axis between the two
+// sub-centers and Anderson-Darling-tests the projection for normality;
+// true means "not Gaussian, accept the split".
+func splitRejected(points [][]float64, twoLabels []int) bool {
+	dim := len(points[0])
+	c0 := make([]float64, dim)
+	c1 := make([]float64, dim)
+	n0, n1 := 0, 0
+	for i, p := range points {
+		if twoLabels[i] == 0 {
+			n0++
+			for d := 0; d < dim; d++ {
+				c0[d] += p[d]
+			}
+		} else {
+			n1++
+			for d := 0; d < dim; d++ {
+				c1[d] += p[d]
+			}
+		}
+	}
+	if n0 == 0 || n1 == 0 {
+		return false
+	}
+	v := make([]float64, dim)
+	norm := 0.0
+	for d := 0; d < dim; d++ {
+		v[d] = c0[d]/float64(n0) - c1[d]/float64(n1)
+		norm += v[d] * v[d]
+	}
+	if norm == 0 {
+		return false
+	}
+	proj := make([]float64, len(points))
+	for i, p := range points {
+		for d := 0; d < dim; d++ {
+			proj[i] += p[d] * v[d]
+		}
+	}
+	return andersonDarling(proj) > 1.8592 // alpha ~= 1e-4, per the G-means paper
+}
+
+// andersonDarling returns the A*² statistic of xs against a normal with
+// estimated mean and variance (small-sample corrected).
+func andersonDarling(xs []float64) float64 {
+	n := len(xs)
+	if n < 8 {
+		return 0
+	}
+	mean, sd := meanStd(xs)
+	if sd == 0 {
+		return 0
+	}
+	z := make([]float64, n)
+	for i, x := range xs {
+		z[i] = (x - mean) / sd
+	}
+	sort.Float64s(z)
+	a2 := 0.0
+	for i := 0; i < n; i++ {
+		cdf1 := stdNormCDF(z[i])
+		cdf2 := stdNormCDF(z[n-1-i])
+		cdf1 = clampProb(cdf1)
+		cdf2 = clampProb(cdf2)
+		a2 += float64(2*i+1) * (math.Log(cdf1) + math.Log(1-cdf2))
+	}
+	a2 = -float64(n) - a2/float64(n)
+	// Correction for estimated parameters.
+	return a2 * (1 + 4.0/float64(n) - 25.0/float64(n*n))
+}
+
+func clampProb(p float64) float64 {
+	const eps = 1e-12
+	if p < eps {
+		return eps
+	}
+	if p > 1-eps {
+		return 1 - eps
+	}
+	return p
+}
+
+func meanStd(xs []float64) (mean, sd float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		sd += d * d
+	}
+	sd = math.Sqrt(sd / float64(len(xs)-1))
+	return mean, sd
+}
+
+// stdNormCDF is Φ(x) via erf.
+func stdNormCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}

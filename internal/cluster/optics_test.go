@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOPTICSOrderingCoversAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	points, _ := blobs(rng, 3, 20, 10)
+	order := OPTICS(points, 5)
+	if len(order) != len(points) {
+		t.Fatalf("ordering covers %d of %d", len(order), len(points))
+	}
+	seen := make([]bool, len(points))
+	for _, p := range order {
+		if seen[p.Index] {
+			t.Fatalf("point %d ordered twice", p.Index)
+		}
+		seen[p.Index] = true
+	}
+}
+
+func TestOPTICSExtractMatchesDBSCANStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	points, truth := blobs(rng, 3, 25, 0)
+	order := OPTICS(points, 4)
+	labels := ExtractDBSCAN(order, 3.0, len(points))
+	// Same purity criterion as the direct DBSCAN test.
+	blobLabel := map[int]int{}
+	wrong := 0
+	for i, l := range labels {
+		if l == -1 {
+			wrong++
+			continue
+		}
+		if want, ok := blobLabel[truth[i]]; ok && l != want {
+			wrong++
+		} else {
+			blobLabel[truth[i]] = l
+		}
+	}
+	if wrong > 4 {
+		t.Errorf("%d points mislabeled: %v", wrong, labels)
+	}
+	if len(blobLabel) != 3 {
+		t.Errorf("found %d clusters, want 3", len(blobLabel))
+	}
+}
+
+func TestOPTICSReachabilityValleys(t *testing.T) {
+	// Two tight blobs far apart: the reachability plot must show a spike
+	// (large reachability) when the ordering jumps between blobs.
+	rng := rand.New(rand.NewSource(3))
+	var points [][]float64
+	for b := 0; b < 2; b++ {
+		for i := 0; i < 15; i++ {
+			points = append(points, []float64{float64(b)*100 + rng.NormFloat64(), rng.NormFloat64()})
+		}
+	}
+	order := OPTICS(points, 4)
+	spikes := 0
+	for _, p := range order[1:] {
+		if p.Reachability > 50 {
+			spikes++
+		}
+	}
+	if spikes != 1 {
+		t.Errorf("expected exactly 1 inter-blob spike, got %d", spikes)
+	}
+}
+
+func TestOPTICSEmpty(t *testing.T) {
+	if got := OPTICS(nil, 3); len(got) != 0 {
+		t.Errorf("empty: %v", got)
+	}
+}
+
+// Property: extraction at a huge eps puts every point with a finite core
+// distance in some cluster; at eps=0 everything is noise.
+func TestExtractDBSCANExtremes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 10
+		points := make([][]float64, n)
+		for i := range points {
+			points[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+		}
+		order := OPTICS(points, 3)
+		all := ExtractDBSCAN(order, math.Inf(1), n)
+		for _, l := range all {
+			if l == -1 {
+				return false
+			}
+		}
+		none := ExtractDBSCAN(order, 0, n)
+		for _, l := range none {
+			if l != -1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGMeansSplitsTwoBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var points [][]float64
+	for b := 0; b < 2; b++ {
+		for i := 0; i < 60; i++ {
+			points = append(points, []float64{float64(b)*50 + rng.NormFloat64(), rng.NormFloat64()})
+		}
+	}
+	labels := GMeans(points, 1, 16)
+	// The two blobs must get different labels, each internally consistent.
+	if labels[0] == labels[60] {
+		// find any cross pair
+		same := 0
+		for i := 0; i < 60; i++ {
+			if labels[i] == labels[60+i] {
+				same++
+			}
+		}
+		if same > 55 {
+			t.Errorf("blobs not split: %v...", labels[:10])
+		}
+	}
+	k := map[int]bool{}
+	for _, l := range labels {
+		k[l] = true
+	}
+	if len(k) < 2 || len(k) > 6 {
+		t.Errorf("k = %d, want 2-6", len(k))
+	}
+}
+
+func TestGMeansKeepsOneGaussian(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	points := make([][]float64, 200)
+	for i := range points {
+		points[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	labels := GMeans(points, 1, 16)
+	k := map[int]bool{}
+	for _, l := range labels {
+		k[l] = true
+	}
+	// A single Gaussian should stay (nearly) unsplit.
+	if len(k) > 2 {
+		t.Errorf("single gaussian split into %d clusters", len(k))
+	}
+}
+
+func TestAndersonDarling(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	normal := make([]float64, 500)
+	for i := range normal {
+		normal[i] = rng.NormFloat64()
+	}
+	if a2 := andersonDarling(normal); a2 > 1.8592 {
+		t.Errorf("normal sample rejected: A2 = %v", a2)
+	}
+	bimodal := make([]float64, 500)
+	for i := range bimodal {
+		bimodal[i] = rng.NormFloat64() + float64(i%2)*12
+	}
+	if a2 := andersonDarling(bimodal); a2 <= 1.8592 {
+		t.Errorf("bimodal sample accepted: A2 = %v", a2)
+	}
+	if got := andersonDarling([]float64{1, 2}); got != 0 {
+		t.Errorf("tiny sample: %v", got)
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"infoshield/internal/graph"
+	"infoshield/internal/lsh"
+	"infoshield/internal/tfidf"
+)
+
+// Coarse runs InfoShield-Coarse (Algorithm 1): tf-idf top-phrase
+// extraction, the document–phrase bipartite graph, and connected
+// components. It returns the candidate clusters (components with at least
+// two documents) as slices of document indices, each sorted ascending,
+// ordered by smallest member — plus each document's selected top phrases,
+// which Fine reuses as its candidate-neighbor index.
+func Coarse(words [][]string, opt Options) (clusters [][]int, top [][]string) {
+	if opt.UseLSHCoarse {
+		return coarseLSH(words)
+	}
+	ex := &tfidf.Extractor{MaxN: opt.MaxNgram, TopFraction: opt.TopFraction}
+	top = ex.TopPhrases(words)
+	if opt.MinSharedPhrases > 1 {
+		return coarseStrict(top, len(words), opt.MinSharedPhrases), top
+	}
+	b := graph.NewBipartite(len(words))
+	for d, phrases := range top {
+		for _, p := range phrases {
+			b.AddEdge(d, p)
+		}
+	}
+	clusters = b.Clusters(2)
+	for _, c := range clusters {
+		sort.Ints(c)
+	}
+	return clusters, top
+}
+
+// coarseLSH is the alternative coarse pass: MinHash signatures over token
+// 3-shingles with LSH banding, instead of the tf-idf phrase graph. Fine's
+// neighbor index needs per-document "phrases", so every member of an LSH
+// group carries the group's id as its single synthetic phrase — the whole
+// group is mutually adjacent, which matches LSH's semantics (members are
+// candidates because their shingle sets collide, not because of any one
+// shared phrase).
+func coarseLSH(words [][]string) (clusters [][]int, top [][]string) {
+	// 2-shingles with 2-row bands: a near-duplicate pair at Jaccard ~0.4
+	// (a couple of slot tokens changed in a tweet-length doc) still
+	// collides with probability ~1-(1-J²)^64 ≈ 1. The tf-idf default is
+	// more selective; LSH here is the recall-leaning alternative.
+	m := lsh.NewMinHasher(128, 2, 0x1f05)
+	sigs := make([][]uint64, len(words))
+	for i, w := range words {
+		sigs[i] = m.Signature(w)
+	}
+	clusters = lsh.Bands(sigs, 64)
+	top = make([][]string, len(words))
+	for gi, group := range clusters {
+		sort.Ints(group)
+		key := fmt.Sprintf("lsh-group-%d", gi)
+		for _, d := range group {
+			top[d] = []string{key}
+		}
+	}
+	return clusters, top
+}
+
+// coarseStrict is the ablation variant: documents join only when they
+// share at least minShared top phrases. It counts shared phrases per
+// document pair, so it is quadratic in the size of each phrase's posting
+// list; posting lists longer than postingCap are truncated to keep the
+// ablation tractable (the paper's default path never does this).
+func coarseStrict(top [][]string, numDocs, minShared int) [][]int {
+	const postingCap = 256
+	posting := make(map[string][]int)
+	for d, phrases := range top {
+		for _, p := range phrases {
+			if len(posting[p]) < postingCap {
+				posting[p] = append(posting[p], d)
+			}
+		}
+	}
+	type pair struct{ a, b int }
+	shared := make(map[pair]int)
+	uf := graph.NewUnionFind(numDocs)
+	for _, docs := range posting {
+		for i := 0; i < len(docs); i++ {
+			for j := i + 1; j < len(docs); j++ {
+				pr := pair{docs[i], docs[j]}
+				shared[pr]++
+				if shared[pr] == minShared {
+					uf.Union(pr.a, pr.b)
+				}
+			}
+		}
+	}
+	var clusters [][]int
+	for _, comp := range uf.Components() {
+		if len(comp) >= 2 {
+			sort.Ints(comp)
+			clusters = append(clusters, comp)
+		}
+	}
+	return clusters
+}

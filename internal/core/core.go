@@ -1,0 +1,195 @@
+// Package core is InfoShield itself: the scalable coarse clustering pass
+// (Algorithm 1) followed by the MDL template-mining fine pass (Algorithm
+// 4) over each coarse cluster, producing micro-clusters, templates with
+// slots, and compression diagnostics.
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"infoshield/internal/mdl"
+	"infoshield/internal/template"
+	"infoshield/internal/tokenize"
+)
+
+// Options configures a run. The zero value reproduces the paper's
+// parameter-free defaults; the remaining knobs exist for ablations and
+// benchmarks, not for tuning.
+type Options struct {
+	// MaxNgram caps the coarse pass's tf-idf n-grams (default 5).
+	MaxNgram int
+	// TopFraction is the fraction of each document's phrases kept in the
+	// coarse pass (default 0.10).
+	TopFraction float64
+	// MinSharedPhrases is the number of top phrases two documents must
+	// share to be joined in the coarse graph (default 1 — the paper's
+	// permissive setting; >1 is the strictness ablation).
+	MinSharedPhrases int
+	// UseLSHCoarse swaps the tf-idf phrase graph for MinHash-LSH banding
+	// in the coarse pass (ablation; the paper notes Coarse is replaceable
+	// by "similar algorithms achieving the same end goal", Advantage 2).
+	UseLSHCoarse bool
+	// UseStarMSA swaps Partial Order Alignment for the cheaper star MSA
+	// (ablation; the paper notes Fine works with any MSA).
+	UseStarMSA bool
+	// DisableSlots turns slot detection off (ablation).
+	DisableSlots bool
+	// Workers bounds the number of coarse clusters refined concurrently
+	// (default: GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// TemplateResult is one discovered template with the documents it encodes.
+type TemplateResult struct {
+	// Template is the frozen constant/slot sequence.
+	Template template.Template
+	// Docs are corpus document indices encoded by the template, in the
+	// order they were aligned (Docs[i] corresponds to Fit row i).
+	Docs []int
+	// Fit retains the alignment and slot assignment for visualization
+	// and cost queries.
+	Fit *template.Fit
+	// CostBefore is the standalone cost of Docs; CostAfter the cost with
+	// this template (its model share plus data cost).
+	CostBefore, CostAfter float64
+}
+
+// Cluster is one refined coarse cluster holding at least one template.
+type Cluster struct {
+	// Templates discovered inside this coarse cluster.
+	Templates []TemplateResult
+	// Docs is the union of the template document sets.
+	Docs []int
+	// CostBefore/CostAfter aggregate the member templates.
+	CostBefore, CostAfter float64
+}
+
+// NumDocs returns the number of documents the cluster's templates encode.
+func (c *Cluster) NumDocs() int { return len(c.Docs) }
+
+// RelativeLength is the cluster's Eq. 7 compression quality.
+func (c *Cluster) RelativeLength() float64 {
+	return mdl.RelativeLength(c.CostAfter, c.CostBefore)
+}
+
+// LowerBound is the cluster's Lemma 1 bound given the vocabulary size.
+func (c *Cluster) LowerBound(vocabSize int) float64 {
+	return mdl.LowerBound(len(c.Templates), len(c.Docs), vocabSize)
+}
+
+// Result is the full output of a run.
+type Result struct {
+	// Vocab is the corpus vocabulary (V = Vocab.Size()).
+	Vocab *tokenize.Vocab
+	// Tokens[i] is document i's token-id sequence.
+	Tokens [][]int
+	// Clusters are the refined micro-clusters, in deterministic order.
+	Clusters []Cluster
+	// DocTemplate[i] is the global template index encoding document i, or
+	// -1. Template indices follow Clusters order.
+	DocTemplate []int
+	// CoarseClusters counts the candidate clusters the coarse pass made.
+	CoarseClusters int
+	// CoarseDuration and FineDuration time the two pipeline stages
+	// (tokenization is counted in CoarseDuration).
+	CoarseDuration, FineDuration time.Duration
+}
+
+// NumTemplates returns the total template count across clusters.
+func (r *Result) NumTemplates() int {
+	n := 0
+	for i := range r.Clusters {
+		n += len(r.Clusters[i].Templates)
+	}
+	return n
+}
+
+// Suspicious returns the per-document binary prediction: true when the
+// document is encoded by some template. This is the labeling the paper
+// uses for precision/recall.
+func (r *Result) Suspicious() []bool {
+	out := make([]bool, len(r.DocTemplate))
+	for i, t := range r.DocTemplate {
+		out[i] = t >= 0
+	}
+	return out
+}
+
+// Run executes the full InfoShield pipeline over raw document texts.
+func Run(texts []string, opt Options) *Result {
+	start := time.Now()
+	var tk tokenize.Tokenizer
+	vocab := tokenize.NewVocab()
+	tokens := make([][]int, len(texts))
+	words := make([][]string, len(texts))
+	for i, text := range texts {
+		w := tk.Tokens(text)
+		words[i] = w
+		tokens[i] = vocab.Encode(w)
+	}
+	res := &Result{
+		Vocab:       vocab,
+		Tokens:      tokens,
+		DocTemplate: make([]int, len(texts)),
+	}
+	for i := range res.DocTemplate {
+		res.DocTemplate[i] = -1
+	}
+
+	coarse, top := Coarse(words, opt)
+	res.CoarseClusters = len(coarse)
+	res.CoarseDuration = time.Since(start)
+	fineStart := time.Now()
+
+	// Refine clusters concurrently; results are merged in cluster order
+	// so output is deterministic regardless of scheduling.
+	refined := make([][]TemplateResult, len(coarse))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opt.workers())
+	for ci, docIDs := range coarse {
+		wg.Add(1)
+		go func(ci int, docIDs []int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			refined[ci] = Fine(docIDs, tokens, top, vocab.Size(), opt)
+		}(ci, docIDs)
+	}
+	wg.Wait()
+	res.FineDuration = time.Since(fineStart)
+
+	for _, templates := range refined {
+		if len(templates) == 0 {
+			continue
+		}
+		cl := Cluster{Templates: templates}
+		for _, tr := range templates {
+			cl.Docs = append(cl.Docs, tr.Docs...)
+			cl.CostBefore += tr.CostBefore
+			cl.CostAfter += tr.CostAfter
+		}
+		sort.Ints(cl.Docs)
+		res.Clusters = append(res.Clusters, cl)
+	}
+	// Assign global template ids.
+	tid := 0
+	for i := range res.Clusters {
+		for j := range res.Clusters[i].Templates {
+			for _, d := range res.Clusters[i].Templates[j].Docs {
+				res.DocTemplate[d] = tid
+			}
+			tid++
+		}
+	}
+	return res
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"sort"
+
+	"infoshield/internal/align"
+	"infoshield/internal/mdl"
+	"infoshield/internal/poa"
+	"infoshield/internal/template"
+)
+
+// Fine runs InfoShield-Fine (Algorithm 4) on one coarse cluster: repeat
+// {candidate alignment → consensus search → slot detection → MDL
+// acceptance} until the cluster is exhausted. docIDs are corpus document
+// indices (ascending); tokens the whole corpus's token-id sequences; top
+// the per-document selected phrases from the coarse pass; vocabSize the
+// paper's V.
+//
+// Candidate scans are restricted to d1's phrase-graph neighbors: only
+// documents sharing a selected top phrase with d1 are tested against
+// C(d|d1) < C(d). Documents the coarse graph deems unrelated essentially
+// never pass the MDL test (they share no important phrase), and the
+// restriction is what keeps Fine sub-quadratic on large heterogeneous
+// coarse components — the Σ k·S·log(S)·l² complexity of Lemma 2 assumes
+// exactly this kind of homogeneous candidate pool.
+func Fine(docIDs []int, tokens [][]int, top [][]string, vocabSize int, opt Options) []TemplateResult {
+	var out []TemplateResult
+	n := len(docIDs)
+	// Posting lists over cluster-local indices, plus sorted token copies
+	// for the allocation-free overlap screen.
+	postings := make(map[string][]int)
+	sorted := make([][]int, n)
+	for i, d := range docIDs {
+		sorted[i] = align.SortedCopy(tokens[d])
+		for _, p := range top[d] {
+			postings[p] = append(postings[p], i)
+		}
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	stamp := make([]int, n)
+	round := 0
+	head := 0
+	for {
+		for head < n && !alive[head] {
+			head++
+		}
+		if head >= n {
+			break
+		}
+		i1 := head
+		d1 := docIDs[i1]
+		alive[i1] = false
+		seed := tokens[d1]
+		if len(seed) == 0 {
+			continue
+		}
+		round++
+		// Collect d1's live phrase-graph neighbors, ascending.
+		var neigh []int
+		for _, p := range top[d1] {
+			for _, j := range postings[p] {
+				if j != i1 && alive[j] && stamp[j] != round {
+					stamp[j] = round
+					neigh = append(neigh, j)
+				}
+			}
+		}
+		sort.Ints(neigh)
+		// Candidate alignment (Algorithm 4): every neighbor that
+		// compresses against d1 joins, in document order. An O(l)
+		// token-overlap bound screens before the O(l²) alignment.
+		candidates := []int{d1}
+		var members []int // local indices of joined docs
+		for _, j := range neigh {
+			toks := tokens[docIDs[j]]
+			if len(toks) == 0 {
+				continue
+			}
+			standalone := align.StandaloneCost(toks, vocabSize)
+			bound := align.ConditionalLowerBound(
+				len(seed), len(toks), align.OverlapSorted(sorted[i1], sorted[j]), vocabSize)
+			if bound < standalone &&
+				align.ConditionalCost(seed, toks, vocabSize) < standalone {
+				candidates = append(candidates, docIDs[j])
+				members = append(members, j)
+			}
+		}
+		if len(candidates) < 2 {
+			// A template must encode at least two documents; d1 is noise.
+			continue
+		}
+		// Candidates leave the pool either way ("treat Di as noise").
+		for _, j := range members {
+			alive[j] = false
+		}
+		matrix := buildMSA(candidates, tokens, opt)
+		numTemplates := len(out) + 1
+		fit := template.ConsensusSearch(matrix, numTemplates, vocabSize)
+		if !opt.DisableSlots {
+			fit.DetectSlots(numTemplates, vocabSize)
+		}
+		// Acceptance (Algorithm 4): keep the template iff the total cost
+		// drops, i.e. encoding the candidates with the template is cheaper
+		// than leaving them standalone.
+		before := 0.0
+		for _, d := range candidates {
+			before += mdl.DocCost(len(tokens[d]), vocabSize)
+		}
+		after := fit.TotalCost(numTemplates, vocabSize)
+		if after < before && fit.Len() > 0 {
+			out = append(out, TemplateResult{
+				Template:   fit.Template(),
+				Docs:       candidates,
+				Fit:        fit,
+				CostBefore: before,
+				CostAfter:  after,
+			})
+		}
+	}
+	return out
+}
+
+// buildMSA aligns the candidate documents with the configured MSA method.
+func buildMSA(candidates []int, tokens [][]int, opt Options) *align.Matrix {
+	seqs := make([][]int, len(candidates))
+	for i, d := range candidates {
+		seqs[i] = tokens[d]
+	}
+	if opt.UseStarMSA {
+		return align.Star(seqs)
+	}
+	return poa.Build(seqs)
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRun drives the whole pipeline with arbitrary document sets built
+// from a fuzzer-controlled byte string: it must never panic, and its
+// invariants (template size >= 2, costs compress, relative length above
+// the Lemma-1 bound) must hold on whatever falls out.
+func FuzzRun(f *testing.F) {
+	f.Add("doc one|doc one|doc two different|and another unrelated thing")
+	f.Add("a a a a|a a a a|b b b|")
+	f.Add("x")
+	f.Add("同じ文|同じ文|違う文です")
+	f.Fuzz(func(t *testing.T, blob string) {
+		docs := strings.Split(blob, "|")
+		if len(docs) > 64 {
+			docs = docs[:64]
+		}
+		for i, d := range docs {
+			if len(d) > 400 {
+				docs[i] = d[:400]
+			}
+		}
+		res := Run(docs, Options{Workers: 1})
+		V := res.Vocab.Size()
+		for i := range res.Clusters {
+			cl := &res.Clusters[i]
+			if cl.CostAfter >= cl.CostBefore {
+				t.Fatalf("accepted cluster does not compress: %v >= %v",
+					cl.CostAfter, cl.CostBefore)
+			}
+			if rl := cl.RelativeLength(); rl < cl.LowerBound(V)-1e-9 {
+				t.Fatalf("relative length %v below bound %v", rl, cl.LowerBound(V))
+			}
+			for _, tr := range cl.Templates {
+				if len(tr.Docs) < 2 {
+					t.Fatalf("template with %d docs", len(tr.Docs))
+				}
+				for _, d := range tr.Docs {
+					if d < 0 || d >= len(docs) {
+						t.Fatalf("doc index %d out of range", d)
+					}
+				}
+			}
+		}
+		if len(res.DocTemplate) != len(docs) {
+			t.Fatalf("DocTemplate length %d != %d", len(res.DocTemplate), len(docs))
+		}
+	})
+}

@@ -1,0 +1,181 @@
+// Package corpus defines the document model shared by the whole pipeline
+// and streaming readers/writers for the two interchange formats the tools
+// speak: JSON Lines and CSV.
+package corpus
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Document is one input text plus whatever labels/metadata the dataset
+// carries. Only ID and Text are required; the rest exists for evaluation
+// and for the metadata-based baseline detectors.
+type Document struct {
+	// ID is the document's position in its corpus (dense, 0-based).
+	ID int `json:"id"`
+	// Text is the raw document text.
+	Text string `json:"text"`
+	// Account identifies the author (Twitter user id / advertiser id).
+	// Empty when unknown.
+	Account string `json:"account,omitempty"`
+	// Label is the binary ground truth: true = suspicious (bot / HT / spam).
+	Label bool `json:"label,omitempty"`
+	// ClusterLabel is the ground-truth cluster id; -1 means the document
+	// belongs to no cluster (the paper labels every genuine user's tweets -1).
+	ClusterLabel int `json:"cluster_label"`
+	// Ordinal is the Trafficking10k-style 0..6 annotation, -1 if absent.
+	Ordinal int `json:"ordinal,omitempty"`
+	// Lang is the generator-recorded language name, empty when unknown.
+	Lang string `json:"lang,omitempty"`
+	// Meta carries platform metadata for the feature-based baselines
+	// (retweets, mentions, urls, posting gaps...). Nil when absent.
+	Meta *Meta `json:"meta,omitempty"`
+}
+
+// Meta is per-document platform metadata, synthesized by the data
+// generators and consumed by the supervised baseline detectors.
+type Meta struct {
+	Retweets     int     `json:"retweets"`
+	Favorites    int     `json:"favorites"`
+	Mentions     int     `json:"mentions"`
+	URLs         int     `json:"urls"`
+	Hashtags     int     `json:"hashtags"`
+	FollowerRate float64 `json:"follower_rate"` // followers / following
+	AccountAge   int     `json:"account_age"`   // days
+	PostGapSecs  float64 `json:"post_gap_secs"` // mean gap between posts
+}
+
+// Corpus is an in-memory document collection.
+type Corpus struct {
+	Docs []Document
+}
+
+// New builds a corpus from raw texts, assigning sequential ids and
+// no-cluster labels.
+func New(texts []string) *Corpus {
+	docs := make([]Document, len(texts))
+	for i, t := range texts {
+		docs[i] = Document{ID: i, Text: t, ClusterLabel: -1, Ordinal: -1}
+	}
+	return &Corpus{Docs: docs}
+}
+
+// Len returns the number of documents.
+func (c *Corpus) Len() int { return len(c.Docs) }
+
+// Texts returns the raw texts in id order.
+func (c *Corpus) Texts() []string {
+	out := make([]string, len(c.Docs))
+	for i, d := range c.Docs {
+		out[i] = d.Text
+	}
+	return out
+}
+
+// Renumber rewrites every document's ID to its slice position. Readers and
+// generators call it so downstream code can rely on Docs[i].ID == i.
+func (c *Corpus) Renumber() {
+	for i := range c.Docs {
+		c.Docs[i].ID = i
+	}
+}
+
+// WriteJSONL streams the corpus as one JSON object per line.
+func (c *Corpus) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i := range c.Docs {
+		if err := enc.Encode(&c.Docs[i]); err != nil {
+			return fmt.Errorf("corpus: encode doc %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses a JSONL stream produced by WriteJSONL (or compatible).
+func ReadJSONL(r io.Reader) (*Corpus, error) {
+	dec := json.NewDecoder(r)
+	c := &Corpus{}
+	for i := 0; ; i++ {
+		var d Document
+		if err := dec.Decode(&d); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("corpus: line %d: %w", i+1, err)
+		}
+		c.Docs = append(c.Docs, d)
+	}
+	c.Renumber()
+	return c, nil
+}
+
+// csvHeader is the fixed column set for CSV interchange.
+var csvHeader = []string{"id", "text", "account", "label", "cluster_label", "ordinal"}
+
+// WriteCSV streams the corpus as CSV with a header row. Metadata is not
+// representable in CSV and is dropped; use JSONL to keep it.
+func (c *Corpus) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("corpus: write header: %w", err)
+	}
+	for i := range c.Docs {
+		d := &c.Docs[i]
+		rec := []string{
+			strconv.Itoa(d.ID),
+			d.Text,
+			d.Account,
+			strconv.FormatBool(d.Label),
+			strconv.Itoa(d.ClusterLabel),
+			strconv.Itoa(d.Ordinal),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("corpus: write doc %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses CSV produced by WriteCSV. A bare two-column (id,text) or
+// one-column (text) file is also accepted so users can feed raw data.
+func ReadCSV(r io.Reader) (*Corpus, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("corpus: read csv: %w", err)
+	}
+	c := &Corpus{}
+	for i, rec := range rows {
+		if i == 0 && len(rec) > 0 && rec[0] == "id" {
+			continue // header
+		}
+		d := Document{ClusterLabel: -1, Ordinal: -1}
+		switch {
+		case len(rec) >= 6:
+			d.Text = rec[1]
+			d.Account = rec[2]
+			d.Label, _ = strconv.ParseBool(rec[3])
+			if v, err := strconv.Atoi(rec[4]); err == nil {
+				d.ClusterLabel = v
+			}
+			if v, err := strconv.Atoi(rec[5]); err == nil {
+				d.Ordinal = v
+			}
+		case len(rec) == 2:
+			d.Text = rec[1]
+		case len(rec) == 1:
+			d.Text = rec[0]
+		default:
+			return nil, fmt.Errorf("corpus: row %d has %d fields", i+1, len(rec))
+		}
+		c.Docs = append(c.Docs, d)
+	}
+	c.Renumber()
+	return c, nil
+}

@@ -1,0 +1,145 @@
+package corpus
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAssignsIDs(t *testing.T) {
+	c := New([]string{"a", "b", "c"})
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	for i, d := range c.Docs {
+		if d.ID != i {
+			t.Errorf("doc %d has ID %d", i, d.ID)
+		}
+		if d.ClusterLabel != -1 {
+			t.Errorf("doc %d ClusterLabel = %d, want -1", i, d.ClusterLabel)
+		}
+	}
+	if got := c.Texts(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("Texts = %v", got)
+	}
+}
+
+func sample() *Corpus {
+	c := New([]string{"hello world", "spam, \"quoted\" text\nwith newline", "третий"})
+	c.Docs[0].Account = "u1"
+	c.Docs[0].Label = true
+	c.Docs[0].ClusterLabel = 7
+	c.Docs[0].Ordinal = 5
+	c.Docs[1].Meta = &Meta{Retweets: 3, Mentions: 1, FollowerRate: 0.5, PostGapSecs: 12.5}
+	return c
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	c := sample()
+	var buf bytes.Buffer
+	if err := c.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Docs, c.Docs) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got.Docs, c.Docs)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	c := sample()
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != c.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), c.Len())
+	}
+	for i := range c.Docs {
+		want := c.Docs[i]
+		want.Meta = nil // CSV drops metadata by design
+		if !reflect.DeepEqual(got.Docs[i], want) {
+			t.Errorf("doc %d: got %+v want %+v", i, got.Docs[i], want)
+		}
+	}
+}
+
+func TestReadCSVBareFormats(t *testing.T) {
+	c, err := ReadCSV(strings.NewReader("just one column\nsecond doc\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 || c.Docs[1].Text != "second doc" {
+		t.Errorf("bare one-column parse: %+v", c.Docs)
+	}
+	c, err = ReadCSV(strings.NewReader("0,first\n1,second\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 || c.Docs[0].Text != "first" {
+		t.Errorf("two-column parse: %+v", c.Docs)
+	}
+}
+
+func TestReadJSONLBadInput(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json")); err == nil {
+		t.Error("expected error for malformed JSONL")
+	}
+}
+
+// Property: JSONL round trip preserves arbitrary texts and labels.
+func TestJSONLRoundTripProperty(t *testing.T) {
+	f := func(texts []string, labels []bool) bool {
+		c := New(texts)
+		for i := range c.Docs {
+			if i < len(labels) {
+				c.Docs[i].Label = labels[i]
+			}
+		}
+		var buf bytes.Buffer
+		if err := c.WriteJSONL(&buf); err != nil {
+			return false
+		}
+		got, err := ReadJSONL(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Docs, c.Docs) || len(texts) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CSV round trip preserves text exactly, including quotes,
+// commas and newlines.
+func TestCSVTextFidelityProperty(t *testing.T) {
+	f := func(texts []string) bool {
+		// csv cannot represent \r cleanly (readers normalize \r\n); skip.
+		for i, s := range texts {
+			texts[i] = strings.ReplaceAll(s, "\r", "")
+		}
+		c := New(texts)
+		var buf bytes.Buffer
+		if err := c.WriteCSV(&buf); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Texts(), c.Texts()) || len(texts) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

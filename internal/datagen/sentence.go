@@ -1,0 +1,154 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Sentence generates one natural-looking sentence in the given language
+// from a small probabilistic grammar: optional opener, subject-verb
+// clause, one or two object phrases, optional adverb/closer. Content words
+// are drawn uniformly from the language's bank, so two independently
+// generated sentences share long n-grams only by coincidence.
+func Sentence(rng *rand.Rand, lang Language) string {
+	b := banks[lang]
+	w := clause(rng, b)
+	if rng.Float64() < 0.35 {
+		// Compound sentence: human tweets are rarely minimal clauses, and
+		// short clauses would near-duplicate each other by accident —
+		// the false-positive source the generator must keep rare.
+		w = append(w, clause(rng, b)...)
+	}
+	if rng.Float64() < 0.35 {
+		w = append(w, pick(rng, b.closers))
+	}
+	return join(b, w)
+}
+
+// tailRate is the probability a content word is drawn from the language's
+// procedural long-tail vocabulary instead of its hand bank. Human text has
+// a huge rare tail (entities, slang, typos); without it, the ~60-word
+// banks make df=2 content n-grams ubiquitous and the coarse document
+// graph percolates into one giant component — which real tweet corpora do
+// not do.
+const tailRate = 0.5
+
+// clause emits one subject-verb-object(s) clause.
+func clause(rng *rand.Rand, b *bank) []string {
+	var w []string
+	if rng.Float64() < 0.5 {
+		w = append(w, pick(rng, b.openers))
+	}
+	w = append(w, pick(rng, b.pronouns), content(rng, b, b.verbs))
+	w = append(w, objectPhrase(rng, b)...)
+	if rng.Float64() < 0.75 {
+		w = append(w, pick(rng, b.preps))
+		w = append(w, objectPhrase(rng, b)...)
+	}
+	if rng.Float64() < 0.5 {
+		w = append(w, pick(rng, b.adverbs))
+	}
+	return w
+}
+
+// content draws a content word: usually from the bank, sometimes from the
+// procedural tail.
+func content(rng *rand.Rand, b *bank, class []string) string {
+	if rng.Float64() < tailRate {
+		return tailWord(rng, b)
+	}
+	return pick(rng, class)
+}
+
+// latinSyllables and kanaSyllables are the building blocks of the
+// procedural tail vocabularies (~400k distinct forms).
+var latinSyllables = []string{
+	"ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du",
+	"ka", "ke", "ki", "ko", "ku", "la", "le", "li", "lo", "lu",
+	"ma", "me", "mi", "mo", "mu", "na", "ne", "ni", "no", "nu",
+	"ra", "re", "ri", "ro", "ru", "sa", "se", "si", "so", "su",
+	"ta", "te", "ti", "to", "tu", "va", "ve", "vi", "vo", "vu",
+}
+
+var kanaSyllables = []string{
+	"か", "き", "く", "け", "こ", "さ", "し", "す", "せ", "そ",
+	"た", "ち", "つ", "て", "と", "な", "に", "ぬ", "ね", "の",
+	"ま", "み", "む", "め", "も", "ら", "り", "る", "れ", "ろ",
+}
+
+// tailWord composes a plausible rare word from the language's syllable
+// inventory.
+func tailWord(rng *rand.Rand, b *bank) string {
+	syll := latinSyllables
+	if !b.spaced {
+		syll = kanaSyllables
+	}
+	n := 3 + rng.Intn(2)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteString(syll[rng.Intn(len(syll))])
+	}
+	return sb.String()
+}
+
+// objectPhrase returns "det [adj] noun".
+func objectPhrase(rng *rand.Rand, b *bank) []string {
+	w := []string{pick(rng, b.dets)}
+	if rng.Float64() < 0.85 {
+		w = append(w, content(rng, b, b.adjectives))
+	}
+	return append(w, content(rng, b, b.nouns))
+}
+
+// join renders words according to the language's spacing convention.
+func join(b *bank, words []string) string {
+	if b.spaced {
+		return strings.Join(words, " ")
+	}
+	return strings.Join(words, "")
+}
+
+// URL fabricates a short link in the style of tweet-shortened URLs.
+func URL(rng *rand.Rand) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz0123456789"
+	var sb strings.Builder
+	sb.WriteString("httptco")
+	for i := 0; i < 8; i++ {
+		sb.WriteByte(letters[rng.Intn(len(letters))])
+	}
+	return sb.String()
+}
+
+// Handle fabricates an @-mention-style account handle (the tokenizer
+// strips the @, so we emit the bare handle).
+func Handle(rng *rand.Rand) string {
+	first := []string{"sun", "moon", "star", "blue", "red", "max", "ace", "sky", "neo", "zen"}
+	return fmt.Sprintf("%s%s%d", pick(rng, first), pick(rng, first), rng.Intn(1000))
+}
+
+// Phone fabricates a phone number in the 123-456.7890 style the paper's
+// toy scam ads use (one token after tokenization).
+func Phone(rng *rand.Rand) string {
+	return fmt.Sprintf("%03d-%03d.%04d", rng.Intn(900)+100, rng.Intn(900)+100, rng.Intn(10000))
+}
+
+// Price fabricates a small dollar amount token.
+func Price(rng *rand.Rand) string {
+	return fmt.Sprintf("%d", []int{3, 5, 10, 20, 25, 40, 50, 60, 80, 100, 120, 150, 200}[rng.Intn(13)])
+}
+
+// Time fabricates a time-of-day token pair ("until 9pm", "from 10am").
+func Time(rng *rand.Rand) string {
+	h := rng.Intn(12) + 1
+	ampm := [2]string{"am", "pm"}[rng.Intn(2)]
+	form := rng.Intn(3)
+	switch form {
+	case 0:
+		return fmt.Sprintf("until %d%s", h, ampm)
+	case 1:
+		return fmt.Sprintf("from %d%s", h, ampm)
+	default:
+		return fmt.Sprintf("%d %s", h, strings.ToUpper(ampm))
+	}
+}

@@ -1,0 +1,253 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"infoshield/internal/corpus"
+)
+
+// TwitterConfig parameterizes the Cresci-2017-style synthetic corpus.
+// Zero fields take the documented defaults.
+type TwitterConfig struct {
+	// Seed drives all randomness; runs are reproducible per seed.
+	Seed int64
+	// GenuineAccounts and BotAccounts set the account mix. The paper's
+	// test sets sample 50% genuine / 50% spambot accounts.
+	GenuineAccounts int // default 50
+	BotAccounts     int // default 50
+	// TweetsPerAccountMin/Max bound the per-account tweet count
+	// (default 5..40).
+	TweetsPerAccountMin int
+	TweetsPerAccountMax int
+	// Languages the genuine accounts tweet in (default: all four).
+	Languages []Language
+	// NoiseRate is the probability a bot tweet receives one random edit
+	// beyond its slot fills (default 0.15).
+	NoiseRate float64
+	// CampaignsPerBot is the max campaigns (distinct templates) a bot
+	// posts from (default 2 — the paper observes kmax <= 2).
+	CampaignsPerBot int
+}
+
+func (c TwitterConfig) withDefaults() TwitterConfig {
+	if c.GenuineAccounts == 0 {
+		c.GenuineAccounts = 50
+	}
+	if c.BotAccounts == 0 {
+		c.BotAccounts = 50
+	}
+	if c.TweetsPerAccountMin == 0 {
+		c.TweetsPerAccountMin = 5
+	}
+	if c.TweetsPerAccountMax == 0 {
+		c.TweetsPerAccountMax = 40
+	}
+	if len(c.Languages) == 0 {
+		c.Languages = []Language{English, Spanish, Italian, Japanese}
+	}
+	if c.NoiseRate == 0 {
+		c.NoiseRate = 0.15
+	}
+	if c.CampaignsPerBot == 0 {
+		c.CampaignsPerBot = 2
+	}
+	return c
+}
+
+// campaign is one spam template: a fixed text with slot positions whose
+// content changes per tweet (URL, handle, number), exactly the structure
+// InfoShield's slot detection is designed to surface.
+type campaign struct {
+	lang  Language
+	parts []string // constant fragments; slots go between consecutive parts
+	slots []func(*rand.Rand) string
+}
+
+// newCampaign builds a campaign in the given language: 1-2 grammar
+// sentences with 1-3 appended/embedded slots.
+func newCampaign(rng *rand.Rand, lang Language) *campaign {
+	c := &campaign{lang: lang}
+	body := Sentence(rng, lang)
+	if rng.Float64() < 0.5 {
+		body += " " + Sentence(rng, lang)
+	}
+	fills := []func(*rand.Rand) string{URL, Handle, Phone, Price}
+	nSlots := rng.Intn(3) + 1
+	// Split the body at random word boundaries to host interior slots,
+	// always ending with a trailing slot (the classic spam-link shape).
+	words := strings.Fields(body)
+	if len(words) < 4 || banks[lang].spaced == false {
+		// Unspaced scripts keep the body intact with trailing slots only.
+		c.parts = []string{body}
+		for i := 0; i < nSlots; i++ {
+			c.slots = append(c.slots, fills[rng.Intn(len(fills))])
+		}
+		for i := 1; i < nSlots; i++ {
+			c.parts = append(c.parts, "")
+		}
+		return c
+	}
+	cut := rng.Intn(len(words)-2) + 1
+	c.parts = []string{strings.Join(words[:cut], " "), strings.Join(words[cut:], " ")}
+	c.slots = []func(*rand.Rand) string{fills[rng.Intn(len(fills))]}
+	for i := 1; i < nSlots; i++ {
+		c.parts = append(c.parts, "")
+		c.slots = append(c.slots, fills[rng.Intn(len(fills))])
+	}
+	return c
+}
+
+// emit renders one tweet from the campaign: constants with fresh slot
+// fills, then possibly one random edit.
+func (c *campaign) emit(rng *rand.Rand, noiseRate float64) string {
+	var sb strings.Builder
+	for i, part := range c.parts {
+		if part != "" {
+			if sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(part)
+		}
+		if i < len(c.slots) {
+			if sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(c.slots[i](rng))
+		}
+	}
+	text := sb.String()
+	if rng.Float64() < noiseRate {
+		text = randomEdit(rng, text, c.lang)
+	}
+	return text
+}
+
+// randomEdit applies one word-level substitution, deletion, or insertion.
+func randomEdit(rng *rand.Rand, text string, lang Language) string {
+	b := banks[lang]
+	words := strings.Fields(text)
+	if len(words) == 0 {
+		return text
+	}
+	switch rng.Intn(3) {
+	case 0: // substitute
+		words[rng.Intn(len(words))] = pick(rng, b.adjectives)
+	case 1: // delete
+		p := rng.Intn(len(words))
+		words = append(words[:p], words[p+1:]...)
+	default: // insert
+		p := rng.Intn(len(words) + 1)
+		words = append(words[:p], append([]string{pick(rng, b.adverbs)}, words[p:]...)...)
+	}
+	return strings.Join(words, " ")
+}
+
+// genuineMeta synthesizes believable human-account metadata.
+func genuineMeta(rng *rand.Rand) *corpus.Meta {
+	return &corpus.Meta{
+		Retweets:     rng.Intn(6),
+		Favorites:    rng.Intn(25),
+		Mentions:     rng.Intn(3),
+		URLs:         boolToInt(rng.Float64() < 0.2),
+		Hashtags:     rng.Intn(3),
+		FollowerRate: 0.4 + rng.Float64()*2.0,
+		AccountAge:   300 + rng.Intn(2700),
+		PostGapSecs:  3600 * (1 + rng.Float64()*47),
+	}
+}
+
+// botMeta synthesizes spambot metadata: link-heavy, follower-poor, young,
+// posting on a fast regular cadence.
+func botMeta(rng *rand.Rand) *corpus.Meta {
+	return &corpus.Meta{
+		Retweets:     rng.Intn(2),
+		Favorites:    rng.Intn(3),
+		Mentions:     rng.Intn(6),
+		URLs:         1 + boolToInt(rng.Float64() < 0.4),
+		Hashtags:     rng.Intn(6),
+		FollowerRate: 0.01 + rng.Float64()*0.3,
+		AccountAge:   10 + rng.Intn(290),
+		PostGapSecs:  60 + rng.Float64()*540,
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Twitter generates the synthetic bot-detection corpus. Every genuine
+// tweet gets ClusterLabel -1 (the paper's convention); every bot tweet
+// gets its bot's account index as ClusterLabel and Label = true.
+func Twitter(cfg TwitterConfig) *corpus.Corpus {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &corpus.Corpus{}
+
+	tweets := func() int {
+		return cfg.TweetsPerAccountMin + rng.Intn(cfg.TweetsPerAccountMax-cfg.TweetsPerAccountMin+1)
+	}
+	for g := 0; g < cfg.GenuineAccounts; g++ {
+		lang := cfg.Languages[rng.Intn(len(cfg.Languages))]
+		account := fmt.Sprintf("genuine-%d", g)
+		for k := tweets(); k > 0; k-- {
+			c.Docs = append(c.Docs, corpus.Document{
+				Text:         Sentence(rng, lang),
+				Account:      account,
+				Label:        false,
+				ClusterLabel: -1,
+				Ordinal:      -1,
+				Lang:         lang.String(),
+				Meta:         genuineMeta(rng),
+			})
+		}
+	}
+	for b := 0; b < cfg.BotAccounts; b++ {
+		// Each bot owns its campaigns: the ground-truth clusters are
+		// account ids (the paper's labeling), so cross-account content
+		// sharing would make the labeling itself wrong.
+		account := fmt.Sprintf("bot-%d", b)
+		nCamp := rng.Intn(cfg.CampaignsPerBot) + 1
+		own := make([]*campaign, nCamp)
+		for i := range own {
+			own[i] = newCampaign(rng, cfg.Languages[rng.Intn(len(cfg.Languages))])
+		}
+		for k := tweets(); k > 0; k-- {
+			camp := own[rng.Intn(len(own))]
+			c.Docs = append(c.Docs, corpus.Document{
+				Text:         camp.emit(rng, cfg.NoiseRate),
+				Account:      account,
+				Label:        true,
+				ClusterLabel: b,
+				Ordinal:      -1,
+				Lang:         camp.lang.String(),
+				Meta:         botMeta(rng),
+			})
+		}
+	}
+	// Shuffle so account order carries no signal.
+	rng.Shuffle(len(c.Docs), func(i, j int) { c.Docs[i], c.Docs[j] = c.Docs[j], c.Docs[i] })
+	c.Renumber()
+	return c
+}
+
+// SampleTweets returns a corpus of exactly n documents sampled without
+// replacement (or the whole corpus if n >= len). Used by the scalability
+// sweep (Fig. 2), which re-samples the same distribution at many sizes.
+func SampleTweets(c *corpus.Corpus, n int, seed int64) *corpus.Corpus {
+	if n >= c.Len() {
+		n = c.Len()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(c.Len())[:n]
+	out := &corpus.Corpus{Docs: make([]corpus.Document, n)}
+	for i, j := range idx {
+		out.Docs[i] = c.Docs[j]
+	}
+	out.Renumber()
+	return out
+}

@@ -1,0 +1,112 @@
+// Package datagen synthesizes the corpora the paper evaluates on but that
+// are gated behind NDAs or remote downloads: Cresci-2017-style Twitter bot
+// datasets (genuine accounts + social spambots, multiple languages, with
+// per-tweet metadata for the feature-based baselines), a
+// Trafficking10k-style noisily labeled ad set, and a Cluster-Trafficking-
+// style corpus with spam / HT / normal cluster structure.
+//
+// Everything is deterministic given a seed. The generators control the
+// one property InfoShield actually reads — the distribution of
+// near-duplication — so the paper's qualitative results are reproducible
+// even though the text itself is synthetic. See DESIGN.md §3.
+package datagen
+
+import "math/rand"
+
+// Language selects a word bank.
+type Language int
+
+// Supported languages: the paper demonstrates language independence on
+// English, Spanish, Italian, and Japanese tweets.
+const (
+	English Language = iota
+	Spanish
+	Italian
+	Japanese
+)
+
+// String names the language.
+func (l Language) String() string {
+	switch l {
+	case English:
+		return "english"
+	case Spanish:
+		return "spanish"
+	case Italian:
+		return "italian"
+	case Japanese:
+		return "japanese"
+	}
+	return "unknown"
+}
+
+// bank holds the word classes a simple generative grammar draws from.
+type bank struct {
+	openers    []string
+	pronouns   []string
+	verbs      []string
+	dets       []string
+	adjectives []string
+	nouns      []string
+	preps      []string
+	adverbs    []string
+	closers    []string
+	// spaced is false for scripts written without word separators.
+	spaced bool
+}
+
+var banks = map[Language]*bank{
+	English: {
+		openers:    []string{"wow", "ok", "honestly", "today", "finally", "just", "so", "yes", "listen", "update"},
+		pronouns:   []string{"i", "we", "they", "you", "she", "he", "everyone", "nobody"},
+		verbs:      []string{"love", "hate", "found", "watched", "tried", "finished", "started", "missed", "enjoyed", "cooked", "visited", "bought", "read", "played", "heard", "saw", "built", "broke", "fixed", "lost", "painted", "planted", "sold", "borrowed", "climbed", "crossed", "ignored", "noticed", "repaired", "sketched", "tasted", "wandered", "admired", "arranged", "carried", "counted"},
+		dets:       []string{"the", "a", "this", "that", "my", "our", "their", "some"},
+		adjectives: []string{"amazing", "terrible", "quiet", "loud", "tiny", "huge", "golden", "broken", "fresh", "ancient", "spicy", "gentle", "bright", "lazy", "rapid", "sour", "velvet", "crooked", "misty", "sturdy", "hollow", "crimson", "dusty", "eager", "faded", "glossy", "humble", "icy", "jagged", "mellow", "narrow", "oily", "pale", "quirky", "rusty", "silent", "tangled", "uneven", "vivid", "woolen"},
+		nouns:      []string{"coffee", "movie", "garden", "bicycle", "concert", "recipe", "mountain", "library", "puppy", "sunset", "novel", "kitchen", "market", "river", "painting", "guitar", "sandwich", "museum", "airport", "meadow", "engine", "harbor", "lantern", "orchard", "violin", "anchor", "blanket", "candle", "drawer", "easel", "fountain", "glacier", "hammock", "island", "jacket", "kettle", "ladder", "mirror", "notebook", "oven", "pillow", "quarry", "rooftop", "saddle", "teapot", "umbrella", "valley", "window", "xylophone", "yard", "zeppelin", "bakery", "canyon", "dune", "ferry", "grove", "hedge", "inlet", "jetty", "kiln", "lagoon"},
+		preps:      []string{"in", "near", "behind", "under", "around", "beyond", "without", "after"},
+		adverbs:    []string{"quickly", "slowly", "barely", "truly", "quietly", "loudly", "rarely", "always", "somehow", "twice"},
+		closers:    []string{"lol", "wow", "finally", "again", "tonight", "yesterday", "honestly", "somehow"},
+		spaced:     true,
+	},
+	Spanish: {
+		openers:    []string{"hoy", "bueno", "vale", "mira", "ahora", "por", "fin", "claro", "oye"},
+		pronouns:   []string{"yo", "nosotros", "ellos", "ella", "usted", "todos", "nadie"},
+		verbs:      []string{"encontré", "vimos", "probamos", "terminé", "empezamos", "perdí", "disfruté", "cociné", "visitamos", "compré", "leímos", "escuché", "arreglé", "rompí", "construyó", "pinté", "planté", "vendí", "crucé", "ignoré", "noté", "reparé", "dibujé", "probé", "caminé", "admiré", "conté", "llevé", "subí", "bajé"},
+		dets:       []string{"el", "la", "un", "una", "este", "esa", "mi", "nuestro"},
+		adjectives: []string{"increíble", "terrible", "tranquilo", "pequeño", "enorme", "dorado", "roto", "fresco", "antiguo", "picante", "brillante", "lento", "agrio", "torcido", "firme", "hueco", "carmesí", "polvoriento", "ansioso", "desteñido", "humilde", "helado", "dentado", "suave", "estrecho", "pálido", "oxidado", "silencioso", "enredado", "vívido"},
+		nouns:      []string{"café", "película", "jardín", "bicicleta", "concierto", "receta", "montaña", "biblioteca", "cachorro", "atardecer", "novela", "cocina", "mercado", "río", "pintura", "guitarra", "museo", "aeropuerto", "pradera", "motor", "puerto", "farol", "huerto", "violín", "ancla", "manta", "vela", "cajón", "fuente", "glaciar", "hamaca", "isla", "chaqueta", "tetera", "escalera", "espejo", "cuaderno", "horno", "almohada", "cantera", "azotea", "silla", "paraguas", "valle", "ventana", "patio", "panadería", "cañón", "duna", "granja", "seto", "muelle", "laguna"},
+		preps:      []string{"en", "cerca", "detrás", "bajo", "alrededor", "sin", "después"},
+		adverbs:    []string{"rápidamente", "despacio", "apenas", "realmente", "silenciosamente", "raramente", "siempre", "dos", "veces"},
+		closers:    []string{"jaja", "vaya", "por", "fin", "otra", "vez", "esta", "noche", "ayer"},
+		spaced:     true,
+	},
+	Italian: {
+		openers:    []string{"oggi", "allora", "guarda", "adesso", "finalmente", "certo", "senti"},
+		pronouns:   []string{"io", "noi", "loro", "lei", "lui", "tutti", "nessuno"},
+		verbs:      []string{"trovato", "visto", "provato", "finito", "iniziato", "perso", "goduto", "cucinato", "visitato", "comprato", "letto", "sentito", "riparato", "rotto", "costruito", "dipinto", "piantato", "venduto", "attraversato", "ignorato", "notato", "disegnato", "assaggiato", "camminato", "ammirato", "contato", "portato", "salito", "sceso"},
+		dets:       []string{"il", "la", "un", "una", "questo", "quella", "mio", "nostro"},
+		adjectives: []string{"incredibile", "terribile", "tranquillo", "piccolo", "enorme", "dorato", "rotto", "fresco", "antico", "piccante", "brillante", "lento", "aspro", "storto", "solido", "cavo", "cremisi", "polveroso", "ansioso", "sbiadito", "umile", "gelido", "frastagliato", "morbido", "stretto", "pallido", "arrugginito", "silenzioso", "intrecciato", "vivido"},
+		nouns:      []string{"caffè", "film", "giardino", "bicicletta", "concerto", "ricetta", "montagna", "biblioteca", "cucciolo", "tramonto", "romanzo", "cucina", "mercato", "fiume", "dipinto", "chitarra", "museo", "aeroporto", "prato", "motore", "porto", "lanterna", "frutteto", "violino", "ancora", "coperta", "candela", "cassetto", "fontana", "ghiacciaio", "amaca", "isola", "giacca", "teiera", "scala", "specchio", "quaderno", "forno", "cuscino", "cava", "tetto", "sella", "ombrello", "valle", "finestra", "cortile", "panetteria", "canyon", "duna", "fattoria", "siepe", "molo", "laguna"},
+		preps:      []string{"in", "vicino", "dietro", "sotto", "intorno", "senza", "dopo"},
+		adverbs:    []string{"rapidamente", "lentamente", "appena", "davvero", "silenziosamente", "raramente", "sempre", "due", "volte"},
+		closers:    []string{"ahah", "dai", "finalmente", "ancora", "stasera", "ieri"},
+		spaced:     true,
+	},
+	Japanese: {
+		openers:    []string{"今日", "ねえ", "ついに", "さて", "実は"},
+		pronouns:   []string{"私", "僕", "彼", "彼女", "皆"},
+		verbs:      []string{"見た", "食べた", "作った", "買った", "読んだ", "聞いた", "行った", "直した", "壊した", "始めた"},
+		dets:       []string{"この", "その", "あの"},
+		adjectives: []string{"素晴らしい", "静かな", "小さな", "大きな", "古い", "新しい", "辛い", "明るい", "遅い"},
+		nouns:      []string{"映画", "庭", "自転車", "音楽会", "料理", "山", "図書館", "子犬", "夕日", "小説", "台所", "市場", "川", "絵", "楽器", "博物館", "空港", "港", "果樹園", "毛布", "蝋燭", "引き出し", "噴水", "氷河", "島", "上着", "急須", "梯子", "鏡", "帳面", "竈", "枕", "屋根", "鞍", "傘", "谷", "窓", "中庭", "砂丘", "農場", "生垣", "桟橋", "潟"},
+		preps:      []string{"で", "の", "と", "から", "まで"},
+		adverbs:    []string{"すぐに", "ゆっくり", "本当に", "静かに", "いつも"},
+		closers:    []string{"笑", "また", "今夜", "昨日"},
+		spaced:     false,
+	},
+}
+
+// pick returns a uniformly random element of words.
+func pick(rng *rand.Rand, words []string) string {
+	return words[rng.Intn(len(words))]
+}

@@ -1,0 +1,88 @@
+package embed
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// subwordIndex maps words to character n-gram hash buckets, FastText's
+// mechanism for sharing statistical strength across morphology and
+// misspellings — the property that makes it the strongest of the three
+// embedding baselines on noisy ad text.
+type subwordIndex struct {
+	minN, maxN int
+	buckets    int
+	grams      [][]int     // per word id: bucket ids
+	bucketVecs [][]float64 // trained bucket vectors
+}
+
+// charNgrams returns the hashed bucket ids of word's character n-grams,
+// with the FastText boundary markers < and >.
+func charNgrams(word string, minN, maxN, buckets int) []int {
+	runes := []rune("<" + word + ">")
+	var out []int
+	for n := minN; n <= maxN; n++ {
+		for i := 0; i+n <= len(runes); i++ {
+			h := fnv.New32a()
+			h.Write([]byte(string(runes[i : i+n])))
+			out = append(out, int(h.Sum32())%buckets)
+		}
+	}
+	return out
+}
+
+// TrainFastText trains a subword-enriched skip-gram model. Word vectors
+// are the sum of a word-level vector and the vectors of the word's
+// character 3-5 gram buckets; out-of-vocabulary words embed through their
+// subwords alone.
+func TrainFastText(docs [][]string, cfg Config) *Model {
+	t := newTrainer(docs, cfg)
+	sub := &subwordIndex{minN: 3, maxN: 5, buckets: t.cfg.Buckets}
+	sub.grams = make([][]int, len(t.words))
+	used := make(map[int]bool)
+	for w, word := range t.words {
+		sub.grams[w] = charNgrams(word, sub.minN, sub.maxN, sub.buckets)
+		for _, g := range sub.grams[w] {
+			used[g] = true
+		}
+	}
+	// Initialize used buckets in sorted order: map iteration order would
+	// make training non-deterministic.
+	ids := make([]int, 0, len(used))
+	for g := range used {
+		ids = append(ids, g)
+	}
+	sort.Ints(ids)
+	sub.bucketVecs = make([][]float64, sub.buckets)
+	for _, g := range ids {
+		sub.bucketVecs[g] = make([]float64, t.cfg.Dim)
+		t.initVec(sub.bucketVecs[g])
+	}
+	// Buckets never seen during training stay zero vectors.
+	for g := range sub.bucketVecs {
+		if sub.bucketVecs[g] == nil {
+			sub.bucketVecs[g] = make([]float64, t.cfg.Dim)
+		}
+	}
+	return t.trainSkipGram(sub)
+}
+
+// oovVector embeds an out-of-vocabulary word as the mean of its subword
+// bucket vectors; nil when the word yields no n-grams.
+func (s *subwordIndex) oovVector(word string, dim int) []float64 {
+	grams := charNgrams(word, s.minN, s.maxN, s.buckets)
+	if len(grams) == 0 {
+		return nil
+	}
+	v := make([]float64, dim)
+	for _, g := range grams {
+		bv := s.bucketVecs[g]
+		for i := range v {
+			v[i] += bv[i]
+		}
+	}
+	for i := range v {
+		v[i] /= float64(len(grams))
+	}
+	return v
+}

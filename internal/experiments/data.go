@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"infoshield/internal/corpus"
+	"infoshield/internal/datagen"
+)
+
+// datagenT10k builds the Trafficking10k-style corpus at the experiment
+// scale (the full scale matches the real dataset's 10,265 ads).
+func datagenT10k(scale Scale) *corpus.Corpus {
+	return datagen.Trafficking10k(datagen.Trafficking10kConfig{
+		Seed: 42,
+		Size: scale.pick(1200, 4000, 10265),
+	})
+}
+
+// datagenCT builds the Cluster-Trafficking-style corpus. Full scale 0.25
+// keeps the paper's proportions at a quarter of its 157k ads — the
+// largest size the O(n²) embedding baselines handle comfortably.
+func datagenCT(scale Scale) *corpus.Corpus {
+	return datagen.ClusterTrafficking(datagen.ClusterTraffickingConfig{
+		Seed:  42,
+		Scale: scale.pickF(0.008, 0.05, 0.25),
+	})
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestLanguageBreakdown(t *testing.T) {
+	var buf bytes.Buffer
+	LanguageBreakdown(&buf, Small)
+	out := buf.String()
+	// Every language present, and the hardest case (unspaced Japanese)
+	// still performs well: F1 >= 0.85.
+	for _, lang := range []string{"english", "spanish", "italian", "japanese"} {
+		if !strings.Contains(out, lang) {
+			t.Errorf("missing %s row:\n%s", lang, out)
+		}
+	}
+	re := regexp.MustCompile(`japanese\s+\d+\s+[0-9.]+\s+[0-9.]+\s+([0-9.]+)`)
+	m := re.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no japanese F1:\n%s", out)
+	}
+	if f1, _ := strconv.ParseFloat(m[1], 64); f1 < 0.85 {
+		t.Errorf("japanese F1 = %v, want >= 0.85:\n%s", f1, out)
+	}
+}
+
+func TestAblationTopFraction(t *testing.T) {
+	var buf bytes.Buffer
+	AblationTopFraction(&buf, Small)
+	out := buf.String()
+	if !strings.Contains(out, "top-phrase fraction") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	// Recall at the tiny fraction must not exceed recall at the default.
+	re := regexp.MustCompile(`(?m)^\s+([0-9.]+)\s+[0-9.]+\s+([0-9.]+)`)
+	rows := re.FindAllStringSubmatch(out, -1)
+	if len(rows) < 4 {
+		t.Fatalf("too few rows:\n%s", out)
+	}
+	recall := map[string]float64{}
+	for _, r := range rows {
+		v, _ := strconv.ParseFloat(r[2], 64)
+		recall[r[1]] = v
+	}
+	if recall["0.02"] > recall["0.10"]+0.02 {
+		t.Errorf("tiny fraction should not beat the default: %v", recall)
+	}
+}
+
+func TestFig3SVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig3SVG(&buf, Small); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "circle", "polyline", "lower bound"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<circle") < 50 {
+		t.Errorf("too few points: %d", strings.Count(out, "<circle"))
+	}
+}
+
+func TestClusteringComparison(t *testing.T) {
+	var buf bytes.Buffer
+	ClusteringComparison(&buf, Small)
+	out := buf.String()
+	for _, m := range []string{"InfoShield", "HDBSCAN", "DBSCAN", "OPTICS", "k-means", "G-means"} {
+		if !strings.Contains(out, m) {
+			t.Errorf("missing method %q:\n%s", m, out)
+		}
+	}
+	// InfoShield must lead every classical clusterer on ARI.
+	ari := func(method string) float64 {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, method) {
+				f := strings.Fields(line)
+				if len(f) >= 2 {
+					v, err := strconv.ParseFloat(f[1], 64)
+					if err == nil {
+						return v
+					}
+				}
+			}
+		}
+		return -1
+	}
+	is := ari("InfoShield")
+	for _, m := range []string{"HDBSCAN", "DBSCAN", "OPTICS", "k-means", "G-means"} {
+		if b := ari(m); b >= is {
+			t.Errorf("%s ARI %v >= InfoShield %v:\n%s", m, b, is, out)
+		}
+	}
+}

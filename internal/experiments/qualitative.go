@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"infoshield/internal/core"
+	"infoshield/internal/datagen"
+	"infoshield/internal/viz"
+)
+
+// background pads a qualitative corpus with unique-word singleton docs so
+// the vocabulary is realistic (see the core tests for why tiny V starves
+// MDL of compression headroom).
+func background(docs []string, n int) []string {
+	out := append([]string(nil), docs...)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf(
+			"qbg%da qbg%db qbg%dc qbg%dd qbg%de qbg%df qbg%dg qbg%dh", i, i, i, i, i, i, i, i))
+	}
+	return out
+}
+
+// renderAll prints every discovered template with its member documents in
+// the five-color scheme, using the plain (bracket) palette so output is
+// readable in logs.
+func renderAll(w io.Writer, res *core.Result, palette viz.Palette) {
+	tid := 0
+	for ci := range res.Clusters {
+		for _, tr := range res.Clusters[ci].Templates {
+			viz.WriteCluster(w, fmt.Sprintf("T%d", tid), tr.Template, tr.Fit, tr.Docs, res.Vocab, palette)
+			tid++
+		}
+	}
+}
+
+// Table9Multilingual reproduces Table IX: a Spanish near-duplicate
+// cluster — 22 exact copies of a seismological alert plus one member
+// differing in three words — demonstrating language independence and
+// that a few divergent words encode as unmatched operations rather than
+// slots (cheaper, exactly as the paper observes).
+func Table9Multilingual(w io.Writer) {
+	fmt.Fprintf(w, "\n== Table IX: Spanish template (language independence) ==\n")
+	base := "sismo de magnitud 4.1 richter a 77 km al sureste de puerto escondido oax lat 15.28 lon 96.53 pf 16 km"
+	variant := "sismo magnitud 4.1 loc a 77 km al sureste de puerto escondido oax lat 15.28 lon 96.53 pf 16 km"
+	docs := make([]string, 0, 23)
+	for i := 0; i < 22; i++ {
+		docs = append(docs, base)
+	}
+	docs = append(docs, variant)
+	// Micro-clusters must be micro relative to the corpus (the paper's
+	// problem statement); a realistic background keeps the cluster's
+	// shared phrases above the coarse pass's rarity floor.
+	res := core.Run(background(docs, 300), core.Options{})
+	renderAll(w, res, viz.PlainPalette)
+	fmt.Fprintf(w, "templates: %d (expect 1, covering all 23 tweets)\n", res.NumTemplates())
+}
+
+// Table10Slots reproduces Table X: tweets sharing the constant prefix
+// "the most popular stories on pr daily this week from" with wholly
+// different story descriptions after it — the description region should
+// be detected as a slot.
+func Table10Slots(w io.Writer) {
+	fmt.Fprintf(w, "\n== Table X: slot detection on weekly-stories tweets ==\n")
+	suffixes := []string{
+		"instagram to mr t and perhaps even your grocers produce httptcokbfwdfts",
+		"vine celebrities to snapchat filters and morning routines httptcoqqzz1",
+		"new cover photo rules on facebook and a battle of the soci httptcoeuetyugbku",
+		"whimsical words to hillarys texts here are this weeks mos httptcoymwflapn",
+		"office gossip to thanksgiving recipes and viral maps httptcoabc77",
+		"understanding sopa to dating a pr professional here are the httptcoploce",
+		"press release myths to podcast tips and email blunders httptcoxyzzy9",
+		"branding fails to holiday campaigns and crisis checklists httptcofff31",
+	}
+	docs := make([]string, 0, len(suffixes))
+	for _, s := range suffixes {
+		docs = append(docs, "the most popular stories on pr daily this week from "+s)
+	}
+	res := core.Run(background(docs, 300), core.Options{})
+	renderAll(w, res, viz.PlainPalette)
+	slots := 0
+	for _, c := range res.Clusters {
+		for _, tr := range c.Templates {
+			slots += tr.Template.NumSlots()
+		}
+	}
+	fmt.Fprintf(w, "templates: %d, slots: %d (expect >= 1 slot over the story text)\n",
+		res.NumTemplates(), slots)
+}
+
+// Table11HT reproduces Table XI: one synthetic trafficking advertiser's
+// ad cluster, its template, and the user-specific content (names, times,
+// prices) captured by the slots. The real table is censored for victim
+// safety; the synthetic equivalent can be shown in full.
+func Table11HT(w io.Writer) {
+	fmt.Fprintf(w, "\n== Table XI: HT advertiser template with typed slots ==\n")
+	docs := datagen.HTAdCluster(7, 22)
+	docs = append(docs, datagen.NormalAds(8, 800)...)
+	res := core.Run(docs, core.Options{})
+	renderAll(w, res, viz.PlainPalette)
+	fmt.Fprintf(w, "templates: %d over %d advertiser ads + %d background ads\n",
+		res.NumTemplates(), 22, 800)
+}

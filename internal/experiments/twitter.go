@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"infoshield/internal/baselines"
+	"infoshield/internal/core"
+	"infoshield/internal/corpus"
+	"infoshield/internal/datagen"
+	"infoshield/internal/metrics"
+)
+
+// twitterTestSet builds one Cresci-style 50/50 test set.
+func twitterTestSet(seed int64, accountsPerSide int) *corpus.Corpus {
+	return datagen.Twitter(datagen.TwitterConfig{
+		Seed:            seed,
+		GenuineAccounts: accountsPerSide,
+		BotAccounts:     accountsPerSide,
+	})
+}
+
+// Fig1Precision reproduces Figure 1 (left): precision as a function of
+// the percentage of non-singleton clusters reported, clusters ordered by
+// compression quality (best relative length first). The ideal curve stays
+// at 1.0; InfoShield should stay near it until the weakest clusters are
+// included.
+func Fig1Precision(w io.Writer, scale Scale) {
+	fmt.Fprintf(w, "\n== Figure 1 (left): precision vs %% of non-singleton clusters ==\n")
+	accounts := scale.pick(60, 150, 400)
+	for set, seed := range []int64{101, 202} {
+		c := twitterTestSet(seed, accounts)
+		res := core.Run(c.Texts(), core.Options{})
+		tr := truth(c)
+		// The paper's set #1 has a "corrected" curve: its ground truth
+		// contained mislabeled accounts the authors fixed by inspection.
+		// We reproduce the phenomenon by flipping 2% of labels ("noisy")
+		// and scoring against both; "corrected" is the clean truth.
+		noisy := append([]bool(nil), tr...)
+		if set == 0 {
+			flip := rand.New(rand.NewSource(seed))
+			for i := range noisy {
+				if flip.Float64() < 0.02 {
+					noisy[i] = !noisy[i]
+				}
+			}
+		}
+		// Order template clusters by relative length ascending.
+		type scored struct {
+			docs []int
+			rl   float64
+		}
+		var clusters []scored
+		for i := range res.Clusters {
+			cl := &res.Clusters[i]
+			clusters = append(clusters, scored{cl.Docs, cl.RelativeLength()})
+		}
+		sort.Slice(clusters, func(i, j int) bool { return clusters[i].rl < clusters[j].rl })
+		fmt.Fprintf(w, "Twitter test set #%d (%d tweets, %d clusters)\n", set+1, c.Len(), len(clusters))
+		precisionAt := func(k int, labels []bool) float64 {
+			tp, fp := 0, 0
+			for _, cl := range clusters[:k] {
+				for _, d := range cl.docs {
+					if labels[d] {
+						tp++
+					} else {
+						fp++
+					}
+				}
+			}
+			if tp+fp == 0 {
+				return 1
+			}
+			return float64(tp) / float64(tp+fp)
+		}
+		if set == 0 {
+			fmt.Fprintf(w, "%8s %10s %12s %10s\n", "pct", "precision", "corrected", "ideal")
+		} else {
+			fmt.Fprintf(w, "%8s %10s %10s\n", "pct", "precision", "ideal")
+		}
+		for _, pct := range []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100} {
+			k := pct * len(clusters) / 100
+			if set == 0 {
+				fmt.Fprintf(w, "%7d%% %10.3f %12.3f %10.3f\n",
+					pct, precisionAt(k, noisy), precisionAt(k, tr), 1.0)
+			} else {
+				fmt.Fprintf(w, "%7d%% %10.3f %10.3f\n", pct, precisionAt(k, tr), 1.0)
+			}
+		}
+	}
+}
+
+// Fig2Scalability reproduces Figure 2: wall-clock runtime versus number
+// of tweets, with a linear reference line fitted through the origin. The
+// paper reports ~3x/400 seconds on its laptop; the reproduction target is
+// the *linearity*, not the constant.
+func Fig2Scalability(w io.Writer, scale Scale) {
+	fmt.Fprintf(w, "\n== Figure 2: runtime vs number of tweets ==\n")
+	maxSize := scale.pick(4000, 16000, 64000)
+	trials := scale.pick(1, 2, 3)
+	// One big pool, sampled down per size — the paper's protocol.
+	accounts := maxSize / 45 // ~22 tweets/account average, 2 sides
+	pool := datagen.Twitter(datagen.TwitterConfig{
+		Seed:            77,
+		GenuineAccounts: accounts,
+		BotAccounts:     accounts,
+	})
+	fmt.Fprintf(w, "%10s %12s %14s %10s %10s\n",
+		"tweets", "seconds", "sec/1k tweets", "coarse.s", "fine.s")
+	var lastPerK float64
+	for size := maxSize / 8; size <= maxSize; size *= 2 {
+		var total, coarse, fine time.Duration
+		for trial := 0; trial < trials; trial++ {
+			sample := datagen.SampleTweets(pool, size, int64(trial+1))
+			start := time.Now()
+			res := core.Run(sample.Texts(), core.Options{})
+			total += time.Since(start)
+			coarse += res.CoarseDuration
+			fine += res.FineDuration
+		}
+		secs := total.Seconds() / float64(trials)
+		lastPerK = secs / float64(size) * 1000
+		fmt.Fprintf(w, "%10d %12.2f %14.3f %10.2f %10.2f\n",
+			size, secs, lastPerK,
+			coarse.Seconds()/float64(trials), fine.Seconds()/float64(trials))
+	}
+	fmt.Fprintf(w, "linear reference: f(n) = %.3f * n/1000 seconds\n", lastPerK)
+}
+
+// Table8Twitter reproduces the Twitter half of Table VIII: InfoShield
+// (unsupervised, text only) against the Cresci-style DNA detector
+// (unsupervised, behavioral) and BotOrNot-/Yang-/Ahmed-style supervised
+// metadata classifiers, on two 50/50 test sets.
+func Table8Twitter(w io.Writer, scale Scale) {
+	accounts := scale.pick(60, 150, 400)
+	train := twitterTestSet(11, accounts) // supervised methods get their own labeled corpus
+	detectors := []*baselines.SupervisedDetector{
+		baselines.TrainSupervised(train, baselines.BotOrNotFeatures, 1),
+		baselines.TrainSupervised(train, baselines.YangFeatures, 1),
+		baselines.TrainSupervised(train, baselines.AhmedFeatures, 1),
+	}
+	for set, seed := range []int64{101, 202} {
+		c := twitterTestSet(seed, accounts)
+		tr, ct := truth(c), clusterTruth(c)
+		header(w, fmt.Sprintf("Table VIII — Twitter test set #%d (%d tweets)", set+1, c.Len()))
+		_, conf, ari := runInfoShield(c, core.Options{})
+		row(w, "InfoShield", ari, true, conf)
+		dna := baselines.CresciDNA{}.Run(c)
+		row(w, "Cresci-DNA", metrics.ARI(dna.Clusters, ct), true, metrics.NewConfusion(dna.Pred, tr))
+		for _, det := range detectors {
+			res := det.Run(c)
+			row(w, det.Features.Name, 0, false, metrics.NewConfusion(res.Pred, tr))
+		}
+	}
+}
+
+// Fig4Ngram reproduces Figure 4: InfoShield precision as the coarse
+// pass's maximum n-gram length sweeps 1..8. The paper's finding —
+// precision stabilizes by n ≈ 4-5 — is the target shape.
+func Fig4Ngram(w io.Writer, scale Scale) {
+	fmt.Fprintf(w, "\n== Figure 4: precision vs max n-gram length ==\n")
+	accounts := scale.pick(50, 120, 350)
+	c := twitterTestSet(303, accounts)
+	tr := truth(c)
+	fmt.Fprintf(w, "corpus: %d tweets\n", c.Len())
+	fmt.Fprintf(w, "%6s %10s %8s\n", "maxN", "precision", "recall")
+	for n := 1; n <= 8; n++ {
+		res := core.Run(c.Texts(), core.Options{MaxNgram: n})
+		conf := metrics.NewConfusion(res.Suspicious(), tr)
+		fmt.Fprintf(w, "%6d %10.3f %8.3f\n", n, conf.Precision(), conf.Recall())
+	}
+}

@@ -1,0 +1,52 @@
+package graph
+
+// Bipartite accumulates document→phrase edges and extracts the connected
+// components over documents. Phrases are identified by opaque string keys
+// (the joined n-gram); documents by dense indices.
+//
+// Implementation note: we never materialize phrase nodes. The first
+// document seen with a phrase becomes the phrase's anchor, and every later
+// document carrying the same phrase unions with the anchor — exactly the
+// same components as the explicit bipartite graph, in O(E α(N)).
+type Bipartite struct {
+	uf     *UnionFind
+	anchor map[string]int
+	edges  int
+}
+
+// NewBipartite prepares a graph over numDocs documents.
+func NewBipartite(numDocs int) *Bipartite {
+	return &Bipartite{
+		uf:     NewUnionFind(numDocs),
+		anchor: make(map[string]int),
+	}
+}
+
+// AddEdge records that phrase is a top phrase of document doc.
+func (b *Bipartite) AddEdge(doc int, phrase string) {
+	b.edges++
+	if a, ok := b.anchor[phrase]; ok {
+		b.uf.Union(a, doc)
+		return
+	}
+	b.anchor[phrase] = doc
+}
+
+// Edges returns the number of AddEdge calls.
+func (b *Bipartite) Edges() int { return b.edges }
+
+// Phrases returns the number of distinct phrases seen.
+func (b *Bipartite) Phrases() int { return len(b.anchor) }
+
+// Clusters returns the document components with at least minSize members.
+// InfoShield-Coarse calls it with minSize=2, discarding single-copy
+// documents (the paper's key scalability step).
+func (b *Bipartite) Clusters(minSize int) [][]int {
+	var out [][]int
+	for _, comp := range b.uf.Components() {
+		if len(comp) >= minSize {
+			out = append(out, comp)
+		}
+	}
+	return out
+}

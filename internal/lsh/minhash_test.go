@@ -1,0 +1,160 @@
+package lsh
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func toks(s string) []string { return strings.Fields(s) }
+
+func TestSignatureDeterministic(t *testing.T) {
+	m := NewMinHasher(64, 3, 7)
+	a := m.Signature(toks("the quick brown fox jumps over the lazy dog"))
+	b := m.Signature(toks("the quick brown fox jumps over the lazy dog"))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic signature")
+		}
+	}
+	m2 := NewMinHasher(64, 3, 8)
+	c := m2.Signature(toks("the quick brown fox jumps over the lazy dog"))
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical signatures")
+	}
+}
+
+func TestEstimateJaccardIdenticalAndDisjoint(t *testing.T) {
+	m := NewMinHasher(128, 3, 1)
+	d1 := toks("alpha beta gamma delta epsilon zeta eta theta")
+	d2 := toks("one two three four five six seven eight")
+	s1, s2 := m.Signature(d1), m.Signature(d2)
+	if got := EstimateJaccard(s1, s1); got != 1 {
+		t.Errorf("identical = %v", got)
+	}
+	if got := EstimateJaccard(s1, s2); got > 0.05 {
+		t.Errorf("disjoint = %v", got)
+	}
+	if got := EstimateJaccard(nil, nil); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+}
+
+// Property: the MinHash estimate tracks true shingle Jaccard within
+// sampling error for documents of graded overlap.
+func TestEstimateTracksTrueJaccard(t *testing.T) {
+	m := NewMinHasher(256, 3, 2)
+	base := make([]string, 40)
+	for i := range base {
+		base[i] = "w" + strconv.Itoa(i)
+	}
+	trueJaccard := func(a, b []string) float64 {
+		set := func(xs []string) map[string]bool {
+			s := map[string]bool{}
+			for i := 0; i+3 <= len(xs); i++ {
+				s[strings.Join(xs[i:i+3], " ")] = true
+			}
+			return s
+		}
+		sa, sb := set(a), set(b)
+		inter := 0
+		for k := range sa {
+			if sb[k] {
+				inter++
+			}
+		}
+		union := len(sa) + len(sb) - inter
+		if union == 0 {
+			return 0
+		}
+		return float64(inter) / float64(union)
+	}
+	for _, cut := range []int{0, 10, 20, 30} {
+		other := append(append([]string(nil), base[:40-cut]...), make([]string, 0)...)
+		for i := 0; i < cut; i++ {
+			other = append(other, "x"+strconv.Itoa(i))
+		}
+		want := trueJaccard(base, other)
+		got := EstimateJaccard(m.Signature(base), m.Signature(other))
+		if math.Abs(got-want) > 0.12 {
+			t.Errorf("cut %d: estimate %v vs true %v", cut, got, want)
+		}
+	}
+}
+
+func TestBandsGroupNearDuplicates(t *testing.T) {
+	m := NewMinHasher(128, 3, 3)
+	rng := rand.New(rand.NewSource(4))
+	var docs [][]string
+	// Three near-duplicate pairs.
+	for p := 0; p < 3; p++ {
+		base := make([]string, 20)
+		for i := range base {
+			base[i] = "p" + strconv.Itoa(p) + "w" + strconv.Itoa(i)
+		}
+		dup := append([]string(nil), base...)
+		dup[rng.Intn(len(dup))] = "changed"
+		docs = append(docs, base, dup)
+	}
+	// Plus unrelated docs.
+	for d := 0; d < 20; d++ {
+		doc := make([]string, 15)
+		for i := range doc {
+			doc[i] = "u" + strconv.Itoa(d) + "x" + strconv.Itoa(i)
+		}
+		docs = append(docs, doc)
+	}
+	sigs := make([][]uint64, len(docs))
+	for i, d := range docs {
+		sigs[i] = m.Signature(d)
+	}
+	groups := Bands(sigs, 32)
+	if len(groups) != 3 {
+		t.Fatalf("groups = %v", groups)
+	}
+	for _, g := range groups {
+		if len(g) != 2 || g[0]/2 != g[1]/2 {
+			t.Errorf("wrong group %v", g)
+		}
+	}
+}
+
+func TestBandsEmptyAndDegenerate(t *testing.T) {
+	if got := Bands(nil, 16); got != nil {
+		t.Errorf("empty: %v", got)
+	}
+	m := NewMinHasher(16, 3, 1)
+	sigs := [][]uint64{m.Signature(toks("only one document here"))}
+	if got := Bands(sigs, 4); got != nil {
+		t.Errorf("single doc: %v", got)
+	}
+}
+
+// Property: banding never groups exactly-disjoint documents when bands
+// have several rows (collision probability negligible), and always groups
+// exact duplicates.
+func TestBandsProperty(t *testing.T) {
+	m := NewMinHasher(64, 2, 5)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc := make([]string, 12)
+		for i := range doc {
+			doc[i] = "t" + strconv.Itoa(rng.Intn(1000)) + "_" + strconv.Itoa(i)
+		}
+		sigs := [][]uint64{m.Signature(doc), m.Signature(doc)}
+		groups := Bands(sigs, 16)
+		return len(groups) == 1 && len(groups[0]) == 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

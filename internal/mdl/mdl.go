@@ -1,0 +1,168 @@
+// Package mdl implements the Minimum Description Length cost model of
+// InfoShield (Section III-B of the paper): universal integer codes, the
+// model cost C(M) of a template set (Eq. 2), the data cost C(D|M) of
+// documents encoded against templates (Eq. 3), the slot cost S(w) (Eq. 4),
+// and the relative-length diagnostics of Lemma 1.
+//
+// Costs are measured in bits and returned as float64; they are compared,
+// never transmitted, so fractional bits are fine.
+package mdl
+
+import "math"
+
+// Lg returns log2(x), the paper's "lg". Lg(x) for x <= 1 is 0: encoding a
+// choice among one (or zero) alternatives is free.
+func Lg(x float64) float64 {
+	if x <= 1 {
+		return 0
+	}
+	return math.Log2(x)
+}
+
+// Universal returns the universal code length ⟨n⟩ for a non-negative
+// integer, using the paper's approximation ⟨n⟩ = log* n ≈ 2·lg n + 1
+// (Rissanen 1983). ⟨0⟩ and ⟨1⟩ both cost 1 bit.
+func Universal(n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return 2*Lg(float64(n)) + 1
+}
+
+// UniversalExact returns the exact Elias-style log* code length
+// lg(n) + lg lg(n) + ... + lg(c0) with c0 = 2.865064. It is provided for
+// completeness and for tests that bound the approximation error; the
+// pipeline uses Universal, as the paper does.
+func UniversalExact(n int) float64 {
+	const c0 = 2.865064
+	if n < 1 {
+		return Lg(c0)
+	}
+	total := Lg(c0)
+	x := float64(n)
+	for x > 1 {
+		x = math.Log2(x)
+		if x <= 0 {
+			break
+		}
+		total += x
+	}
+	return total
+}
+
+// WordCost returns lg V, the cost of one vocabulary index.
+func WordCost(vocabSize int) float64 { return Lg(float64(vocabSize)) }
+
+// DocCost is the standalone cost of a length-l document with no template:
+// ⟨l⟩ to encode the length plus lg V per word (Section III-B.1).
+func DocCost(length, vocabSize int) float64 {
+	return Universal(length) + float64(length)*WordCost(vocabSize)
+}
+
+// TemplateStats summarizes one template for model-cost purposes.
+type TemplateStats struct {
+	Length int // l_i: number of tokens in the template (constants + slots)
+	Slots  int // s_i: number of slots
+}
+
+// ModelCost returns C(M) for a template set (Eq. 2):
+//
+//	C(M) = ⟨t⟩ + Σ_i [ ⟨l_i⟩ + (l_i - s_i)·lg V + (1+s_i)·lg l_i ]
+//
+// per template: its length, a vocabulary index per *constant* token, the
+// slot count, and a location per slot. Eq. 2 as printed charges lg V for
+// every position including slots; a slot stores no vocabulary word (its
+// content is charged per document via S(w)), so we charge the word index
+// only for the l_i - s_i constants. This strictly refines the paper's
+// bound and never changes which of two slot-free models wins.
+func ModelCost(templates []TemplateStats, vocabSize int) float64 {
+	cost := Universal(len(templates))
+	for _, ts := range templates {
+		cost += Universal(ts.Length) +
+			float64(ts.Length-ts.Slots)*WordCost(vocabSize) +
+			float64(1+ts.Slots)*Lg(float64(ts.Length))
+	}
+	return cost
+}
+
+// SlotCost returns S(w), the cost of a slot holding w words (Eq. 4):
+// one bit for empty/non-empty, then ⟨w⟩ + w·lg V when non-empty.
+func SlotCost(words, vocabSize int) float64 {
+	if words <= 0 {
+		return 1
+	}
+	return 1 + Universal(words) + float64(words)*WordCost(vocabSize)
+}
+
+// AlignStats summarizes one document's alignment against its template,
+// the inputs to the per-document data cost (Eq. 3 and its prose bullets).
+type AlignStats struct {
+	AlignLen   int   // l̂_d: length of the alignment
+	Unmatched  int   // e_d: unmatched words (insert + delete + substitute)
+	AddedWords int   // u_d: inserted/substituted words needing a vocab index
+	SlotWords  []int // w_{d,j}: number of words the document puts in slot j
+}
+
+// opTypeBits is ⌈lg 3⌉: the per-unmatched-word cost of naming the edit
+// operation (insertion / deletion / substitution). Eq. 3 as printed and
+// Arithmetic Example 2 omit this term, but the prose bullet list includes
+// it — and it is required both for decodability and for the slot-vs-edit
+// trade-off to behave as the paper describes (a slot's fixed 2-bit
+// overhead beats per-word "location + type" storage exactly when the
+// position is genuinely variable).
+const opTypeBits = 2
+
+// DataCostMatched returns the cost of one document encoded by a template
+// out of t templates:
+//
+//	1 (template flag) + lg t + ⟨l̂⟩ + l̂ + e·(lg l̂ + 2) + u·lg V + Σ_j S(w_j)
+func DataCostMatched(a AlignStats, numTemplates, vocabSize int) float64 {
+	cost := 1 + Lg(float64(numTemplates)) +
+		Universal(a.AlignLen) + float64(a.AlignLen) +
+		float64(a.Unmatched)*(Lg(float64(a.AlignLen))+opTypeBits) +
+		float64(a.AddedWords)*WordCost(vocabSize)
+	for _, w := range a.SlotWords {
+		cost += SlotCost(w, vocabSize)
+	}
+	return cost
+}
+
+// DataCostUnmatched returns the cost of a document no template encodes:
+// 1 bit for the "no template" flag plus lg V per word.
+func DataCostUnmatched(length, vocabSize int) float64 {
+	return 1 + float64(length)*WordCost(vocabSize)
+}
+
+// RelativeLength is cost-after-compression over cost-before-compression
+// (Eq. 7). Near 1 means poor compression; near the Lemma-1 lower bound
+// means the cluster is near-duplicate. A zero before-cost yields 1.
+func RelativeLength(after, before float64) float64 {
+	if before <= 0 {
+		return 1
+	}
+	return after / before
+}
+
+// VocabCost is the one-time cost of spelling out the vocabulary itself
+// (Section III-B.3): ⟨V⟩ + V·(l̄+1)·8 bits, where l̄ is the average word
+// length in characters, 8 bits per character, and 1 delimiter bit per
+// word. The paper (and this implementation) exclude it from model
+// comparisons — it is identical for every template set — but report it
+// for completeness.
+func VocabCost(vocabSize int, avgWordLen float64) float64 {
+	return Universal(vocabSize) + float64(vocabSize)*(avgWordLen+1)*8
+}
+
+// LowerBound is Lemma 1: the least achievable relative length for a
+// cluster of n documents compressed with t templates over a V-word
+// vocabulary, t/n + 1/lg V.
+func LowerBound(numTemplates, numDocs, vocabSize int) float64 {
+	if numDocs <= 0 {
+		return 1
+	}
+	lgV := WordCost(vocabSize)
+	if lgV <= 0 {
+		return 1
+	}
+	return float64(numTemplates)/float64(numDocs) + 1/lgV
+}

@@ -1,0 +1,241 @@
+package mdl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLg(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0}, {1, 0}, {2, 1}, {8, 3}, {0.5, 0}, {-3, 0},
+	}
+	for _, c := range cases {
+		if got := Lg(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Lg(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestUniversal(t *testing.T) {
+	if got := Universal(0); got != 1 {
+		t.Errorf("Universal(0) = %v", got)
+	}
+	if got := Universal(1); got != 1 {
+		t.Errorf("Universal(1) = %v", got)
+	}
+	// ⟨n⟩ = 2 lg n + 1
+	if got, want := Universal(8), 2*3.0+1; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Universal(8) = %v, want %v", got, want)
+	}
+}
+
+// Property: Universal is monotone non-decreasing and always >= 1.
+func TestUniversalMonotone(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		ux, uy := Universal(x), Universal(y)
+		return ux >= 1 && ux <= uy
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The approximation 2 lg n + 1 should stay within a few bits of the exact
+// log* code for moderate n.
+func TestUniversalApproxTracksExact(t *testing.T) {
+	for n := 1; n <= 1<<16; n *= 2 {
+		approx, exact := Universal(n), UniversalExact(n)
+		if math.Abs(approx-exact) > 0.9*exact+4 {
+			t.Errorf("n=%d: approx %v too far from exact %v", n, approx, exact)
+		}
+		if exact <= 0 {
+			t.Errorf("UniversalExact(%d) = %v", n, exact)
+		}
+	}
+}
+
+func TestDocCost(t *testing.T) {
+	// 10 words, V=1024: ⟨10⟩ + 10*10
+	want := Universal(10) + 100.0
+	if got := DocCost(10, 1024); math.Abs(got-want) > 1e-9 {
+		t.Errorf("DocCost = %v, want %v", got, want)
+	}
+	if got := DocCost(0, 1024); got != 1 {
+		t.Errorf("DocCost(0) = %v, want 1 (just the length code)", got)
+	}
+}
+
+// Arithmetic Example 1 from the paper: a template with 10 tokens of which
+// 2 are slots costs ⟨10⟩ + 8 lg V + 3 lg 10 — plus ⟨1⟩ for the template
+// count, which ModelCost includes for the whole set. (The paper's example
+// charges lg V for the slots too; we charge word indices for constants
+// only, since slot content is charged per document via S(w).)
+func TestModelCostArithmeticExample1(t *testing.T) {
+	V := 1 << 12
+	got := ModelCost([]TemplateStats{{Length: 10, Slots: 2}}, V)
+	want := Universal(1) + Universal(10) + 8*WordCost(V) + 3*Lg(10)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("ModelCost = %v, want %v", got, want)
+	}
+}
+
+func TestModelCostEmpty(t *testing.T) {
+	if got := ModelCost(nil, 100); got != 1 {
+		t.Errorf("ModelCost(nil) = %v, want ⟨0⟩ = 1", got)
+	}
+}
+
+// Property: model cost grows when adding a template.
+func TestModelCostMonotoneInTemplates(t *testing.T) {
+	f := func(lens []uint8) bool {
+		V := 4096
+		var stats []TemplateStats
+		prev := ModelCost(stats, V)
+		for _, l := range lens {
+			length := int(l%50) + 1
+			slots := int(l % 3)
+			if slots > length {
+				slots = length
+			}
+			stats = append(stats, TemplateStats{Length: length, Slots: slots})
+			cur := ModelCost(stats, V)
+			if cur <= prev-1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlotCost(t *testing.T) {
+	if got := SlotCost(0, 100); got != 1 {
+		t.Errorf("empty slot = %v, want 1", got)
+	}
+	V := 256
+	want := 1 + Universal(3) + 3*WordCost(V)
+	if got := SlotCost(3, V); math.Abs(got-want) > 1e-9 {
+		t.Errorf("SlotCost(3) = %v, want %v", got, want)
+	}
+}
+
+// Arithmetic Example 2 from the paper: doc #4 aligned to T1 costs
+// lg 2 + ⟨14⟩ + 14 + 3 lg 14 + 2 lg V + 2(1 + ⟨1⟩ + lg V).
+// In our terms: t=2 templates, alignment length 14, 3 unmatched ops of
+// which 2 added words, and 2 slots each holding one word. Our cost equals
+// the example plus the 1-bit template yes/no flag and the 2-bit op-type
+// term per unmatched word — both demanded by the paper's prose bullet
+// list but dropped from its arithmetic example.
+func TestDataCostMatchedArithmeticExample2(t *testing.T) {
+	V := 1 << 10
+	a := AlignStats{AlignLen: 14, Unmatched: 3, AddedWords: 2, SlotWords: []int{1, 1}}
+	got := DataCostMatched(a, 2, V)
+	paper := Lg(2) + Universal(14) + 14 + 3*Lg(14) + 2*WordCost(V) +
+		2*(1+Universal(1)+WordCost(V))
+	want := paper + 1 + 3*opTypeBits
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("DataCostMatched = %v, want %v (paper %v)", got, want, paper)
+	}
+}
+
+func TestDataCostUnmatched(t *testing.T) {
+	V := 64
+	want := 1 + 7*WordCost(V)
+	if got := DataCostUnmatched(7, V); math.Abs(got-want) > 1e-9 {
+		t.Errorf("DataCostUnmatched = %v, want %v", got, want)
+	}
+}
+
+// Property: a perfectly matching doc (no edits, no slot words) is cheaper
+// than encoding it standalone whenever it is long enough.
+func TestTemplateCompressesDuplicates(t *testing.T) {
+	V := 1 << 14
+	for l := 4; l <= 200; l++ {
+		matched := DataCostMatched(AlignStats{AlignLen: l}, 1, V)
+		alone := DocCost(l, V)
+		if matched >= alone {
+			t.Errorf("length %d: matched %v >= standalone %v", l, matched, alone)
+		}
+	}
+}
+
+// Property: data cost is monotone in the number of unmatched operations.
+func TestDataCostMonotoneInEdits(t *testing.T) {
+	f := func(l, e uint8) bool {
+		al := int(l%100) + 10
+		ed := int(e) % al
+		c1 := DataCostMatched(AlignStats{AlignLen: al, Unmatched: ed, AddedWords: ed}, 1, 4096)
+		c2 := DataCostMatched(AlignStats{AlignLen: al, Unmatched: ed + 1, AddedWords: ed + 1}, 1, 4096)
+		return c2 > c1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVocabCost(t *testing.T) {
+	// 100 words averaging 5 chars: ⟨100⟩ + 100·6·8
+	want := Universal(100) + 100*6*8
+	if got := VocabCost(100, 5); math.Abs(got-want) > 1e-9 {
+		t.Errorf("VocabCost = %v, want %v", got, want)
+	}
+	if got := VocabCost(0, 5); got != 1 {
+		t.Errorf("VocabCost(0) = %v", got)
+	}
+}
+
+func TestRelativeLength(t *testing.T) {
+	if got := RelativeLength(50, 100); got != 0.5 {
+		t.Errorf("RelativeLength = %v", got)
+	}
+	if got := RelativeLength(5, 0); got != 1 {
+		t.Errorf("RelativeLength before=0 should be 1, got %v", got)
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	// t/n + 1/lgV
+	V := 1 << 10 // lgV = 10
+	got := LowerBound(2, 8, V)
+	want := 2.0/8.0 + 1.0/10.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("LowerBound = %v, want %v", got, want)
+	}
+	if got := LowerBound(1, 0, V); got != 1 {
+		t.Errorf("LowerBound n=0 = %v", got)
+	}
+	if got := LowerBound(1, 5, 1); got != 1 {
+		t.Errorf("LowerBound V=1 = %v", got)
+	}
+}
+
+// Lemma 1 (empirical form): encoding n exact duplicates of a length-l doc
+// with one template achieves relative length approaching 1/n + 1/lgV.
+func TestLowerBoundAchievedByExactDuplicates(t *testing.T) {
+	V := 1 << 12
+	l := 40
+	for _, n := range []int{4, 16, 64, 256} {
+		before := float64(n) * DocCost(l, V)
+		after := ModelCost([]TemplateStats{{Length: l}}, V)
+		for i := 0; i < n; i++ {
+			after += DataCostMatched(AlignStats{AlignLen: l}, 1, V)
+		}
+		rel := RelativeLength(after, before)
+		lb := LowerBound(1, n, V)
+		if rel < lb-1e-9 {
+			t.Errorf("n=%d: relative length %v below lower bound %v", n, rel, lb)
+		}
+		// Should be within a small factor of the bound for duplicates.
+		if rel > 3*lb {
+			t.Errorf("n=%d: relative length %v far above lower bound %v", n, rel, lb)
+		}
+	}
+}

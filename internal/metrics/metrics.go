@@ -1,0 +1,183 @@
+// Package metrics implements the evaluation measures the paper reports —
+// precision, recall, F1 over binary suspicious/benign labels, and the
+// Adjusted Rand Index (Hubert & Arabie 1985) over cluster labelings —
+// plus normalized mutual information for additional cluster comparisons.
+package metrics
+
+import "math"
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// NewConfusion tallies predictions against ground truth.
+func NewConfusion(pred, truth []bool) Confusion {
+	var c Confusion
+	for i := range pred {
+		switch {
+		case pred[i] && truth[i]:
+			c.TP++
+		case pred[i] && !truth[i]:
+			c.FP++
+		case !pred[i] && truth[i]:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// Precision returns TP/(TP+FP), or 0 when nothing was predicted positive.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when there are no positives.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// ARI computes the Adjusted Rand Index between two labelings of the same
+// items. Labels are opaque integers, except that the paper's convention
+// for "belongs to no cluster" is honored: every item labeled -1 is treated
+// as its own singleton cluster (genuine users' tweets "are different
+// enough that they shouldn't be clustered together").
+//
+// ARI is 1 for identical partitions, ~0 for random agreement, and can be
+// negative for worse-than-random. Degenerate cases (all items in one
+// cluster in both partitions, or both all-singletons) return 1.
+func ARI(a, b []int) float64 {
+	if len(a) != len(b) {
+		panic("metrics: ARI label slices differ in length")
+	}
+	n := len(a)
+	if n == 0 {
+		return 1
+	}
+	a = expandSingletons(a)
+	b = expandSingletons(b)
+	// Contingency table.
+	type cell struct{ x, y int }
+	cont := make(map[cell]int)
+	rows := make(map[int]int)
+	cols := make(map[int]int)
+	for i := 0; i < n; i++ {
+		cont[cell{a[i], b[i]}]++
+		rows[a[i]]++
+		cols[b[i]]++
+	}
+	var sumComb, rowComb, colComb float64
+	for _, v := range cont {
+		sumComb += comb2(v)
+	}
+	for _, v := range rows {
+		rowComb += comb2(v)
+	}
+	for _, v := range cols {
+		colComb += comb2(v)
+	}
+	total := comb2(n)
+	if total == 0 {
+		return 1
+	}
+	expected := rowComb * colComb / total
+	maxIndex := (rowComb + colComb) / 2
+	if maxIndex == expected {
+		return 1 // both partitions degenerate in the same way
+	}
+	return (sumComb - expected) / (maxIndex - expected)
+}
+
+// NMI computes the normalized mutual information between two labelings
+// (arithmetic-mean normalization), with the same -1 singleton convention
+// as ARI. 1 means identical partitions; 0 means independence.
+func NMI(a, b []int) float64 {
+	if len(a) != len(b) {
+		panic("metrics: NMI label slices differ in length")
+	}
+	n := len(a)
+	if n == 0 {
+		return 1
+	}
+	a = expandSingletons(a)
+	b = expandSingletons(b)
+	type cell struct{ x, y int }
+	joint := make(map[cell]int)
+	ca := make(map[int]int)
+	cb := make(map[int]int)
+	for i := 0; i < n; i++ {
+		joint[cell{a[i], b[i]}]++
+		ca[a[i]]++
+		cb[b[i]]++
+	}
+	fn := float64(n)
+	var mi float64
+	for c, nij := range joint {
+		pij := float64(nij) / fn
+		pi := float64(ca[c.x]) / fn
+		pj := float64(cb[c.y]) / fn
+		mi += pij * logOf(pij/(pi*pj))
+	}
+	ha, hb := entropy(ca, fn), entropy(cb, fn)
+	if ha == 0 && hb == 0 {
+		return 1
+	}
+	return 2 * mi / (ha + hb)
+}
+
+func entropy(counts map[int]int, n float64) float64 {
+	h := 0.0
+	for _, c := range counts {
+		p := float64(c) / n
+		h -= p * logOf(p)
+	}
+	return h
+}
+
+func logOf(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Log(x)
+}
+
+// expandSingletons replaces every -1 label with a fresh negative label so
+// each unclustered item forms its own class.
+func expandSingletons(labels []int) []int {
+	out := make([]int, len(labels))
+	next := -2
+	for i, l := range labels {
+		if l == -1 {
+			out[i] = next
+			next--
+		} else {
+			out[i] = l
+		}
+	}
+	return out
+}
+
+// comb2 returns C(n,2) as a float64.
+func comb2(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return float64(n) * float64(n-1) / 2
+}

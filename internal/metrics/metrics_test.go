@@ -1,0 +1,212 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	pred := []bool{true, true, false, false, true}
+	truth := []bool{true, false, false, true, true}
+	c := NewConfusion(pred, truth)
+	if c.TP != 2 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if got := c.Precision(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Precision = %v", got)
+	}
+	if got := c.Recall(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Recall = %v", got)
+	}
+	if got := c.F1(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("F1 = %v", got)
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	c := NewConfusion([]bool{false, false}, []bool{false, false})
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Errorf("all-negative case: %+v", c)
+	}
+	c = NewConfusion([]bool{true, true}, []bool{true, true})
+	if c.Precision() != 1 || c.Recall() != 1 || c.F1() != 1 {
+		t.Errorf("perfect case: %+v", c)
+	}
+}
+
+// Property: F1 is between min and max of precision and recall.
+func TestF1Bounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50) + 1
+		pred := make([]bool, n)
+		truth := make([]bool, n)
+		for i := range pred {
+			pred[i] = rng.Intn(2) == 0
+			truth[i] = rng.Intn(2) == 0
+		}
+		c := NewConfusion(pred, truth)
+		p, r, f1 := c.Precision(), c.Recall(), c.F1()
+		lo, hi := math.Min(p, r), math.Max(p, r)
+		return f1 >= lo-1e-12 && f1 <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestARIIdentical(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2}
+	if got := ARI(a, a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ARI identical = %v", got)
+	}
+}
+
+func TestARIPermutedLabels(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	b := []int{5, 5, 9, 9, 7, 7}
+	if got := ARI(a, b); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ARI permuted = %v", got)
+	}
+}
+
+func TestARIDisagreement(t *testing.T) {
+	a := []int{0, 0, 0, 1, 1, 1}
+	b := []int{0, 0, 1, 1, 2, 2}
+	got := ARI(a, b)
+	if got >= 1 || got <= 0 {
+		t.Errorf("partial agreement ARI = %v, want in (0,1)", got)
+	}
+}
+
+// Reference value check against sklearn's adjusted_rand_score for a known
+// case: a=[0,0,1,1], b=[0,0,1,2] gives ARI = 0.57142857...
+func TestARIReferenceValue(t *testing.T) {
+	got := ARI([]int{0, 0, 1, 1}, []int{0, 0, 1, 2})
+	want := 4.0 / 7.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("ARI = %v, want %v", got, want)
+	}
+}
+
+func TestARISingletonConvention(t *testing.T) {
+	// Two items both labeled -1 are NOT the same cluster.
+	a := []int{-1, -1, 3, 3}
+	b := []int{7, 8, 9, 9}
+	if got := ARI(a, b); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ARI with -1 singletons = %v, want 1", got)
+	}
+	// Whereas grouping the two -1 items is a real disagreement.
+	c := []int{7, 7, 9, 9}
+	if got := ARI(a, c); got >= 1 {
+		t.Errorf("ARI = %v, want < 1", got)
+	}
+}
+
+func TestARIEmpty(t *testing.T) {
+	if got := ARI(nil, nil); got != 1 {
+		t.Errorf("ARI(empty) = %v", got)
+	}
+}
+
+func TestARIMismatchedLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ARI([]int{1}, []int{1, 2})
+}
+
+// Property: ARI is symmetric and invariant to label permutation.
+func TestARISymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 2
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.Intn(4)
+			b[i] = rng.Intn(4)
+		}
+		if math.Abs(ARI(a, b)-ARI(b, a)) > 1e-9 {
+			return false
+		}
+		// Relabel a's clusters by +100: ARI unchanged.
+		a2 := make([]int, n)
+		for i := range a {
+			a2[i] = a[i] + 100
+		}
+		return math.Abs(ARI(a, b)-ARI(a2, b)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ARI <= 1 always, with equality iff partitions are equivalent.
+func TestARIUpperBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(25) + 2
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.Intn(3)
+			b[i] = rng.Intn(3)
+		}
+		return ARI(a, b) <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNMIBasics(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	if got := NMI(a, a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("NMI identical = %v", got)
+	}
+	b := []int{5, 5, 9, 9, 7, 7}
+	if got := NMI(a, b); math.Abs(got-1) > 1e-12 {
+		t.Errorf("NMI permuted = %v", got)
+	}
+	// Independence: one big cluster vs alternating labels.
+	c := []int{0, 0, 0, 0, 0, 0}
+	d := []int{0, 1, 0, 1, 0, 1}
+	if got := NMI(c, d); got > 0.01 {
+		t.Errorf("NMI independent = %v, want ~0", got)
+	}
+	if got := NMI(nil, nil); got != 1 {
+		t.Errorf("NMI empty = %v", got)
+	}
+}
+
+func TestNMISymmetricBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 2
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.Intn(4)
+			b[i] = rng.Intn(4)
+		}
+		x, y := NMI(a, b), NMI(b, a)
+		return math.Abs(x-y) < 1e-9 && x >= -1e-9 && x <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNMIMismatchedLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NMI([]int{1}, []int{1, 2})
+}

@@ -1,0 +1,67 @@
+// Package search implements the dichotomous (binary) search the paper uses
+// for Consensus-Search (Algorithm 2): a 1-dimensional minimization of a
+// cost function over an integer threshold range. The cost function is not
+// convex, so the paper notes the search "returns the optimal solutions in
+// most cases"; we additionally remember every evaluated point and return
+// the best one seen, which can only improve on the textbook procedure and
+// keeps the method parameter-free.
+package search
+
+// Dichotomous minimizes cost over the integers [lo, hi] following
+// Algorithm 2's halving scheme and returns the argmin among all evaluated
+// points. Evaluations are memoized, so cost is called at most once per
+// point (O(log(hi-lo)) evaluations). If lo > hi, lo is returned unevaluated.
+func Dichotomous(lo, hi int, cost func(int) float64) int {
+	if lo > hi {
+		return lo
+	}
+	memo := make(map[int]float64)
+	eval := func(h int) float64 {
+		if h < lo {
+			h = lo
+		}
+		if h > hi {
+			h = hi
+		}
+		if c, ok := memo[h]; ok {
+			return c
+		}
+		c := cost(h)
+		memo[h] = c
+		return c
+	}
+	l, r := lo, hi
+	for l < r {
+		m := (l + r) / 2
+		eval(m) // the halving below can exclude m; make sure it was seen
+		if eval(m-1) <= eval(m+1) {
+			r = m - 1
+		} else {
+			l = m + 1
+		}
+	}
+	eval(l)
+	// Return the best evaluated point (deterministic tie-break: smallest).
+	bestH, bestC := lo, eval(lo)
+	for h := lo; h <= hi; h++ {
+		if c, ok := memo[h]; ok && (c < bestC || (c == bestC && h < bestH)) {
+			bestH, bestC = h, c
+		}
+	}
+	return bestH
+}
+
+// Exhaustive minimizes cost over [lo, hi] by evaluating every point. It is
+// the oracle the ablation benchmarks compare Dichotomous against.
+func Exhaustive(lo, hi int, cost func(int) float64) int {
+	if lo > hi {
+		return lo
+	}
+	bestH, bestC := lo, cost(lo)
+	for h := lo + 1; h <= hi; h++ {
+		if c := cost(h); c < bestC {
+			bestH, bestC = h, c
+		}
+	}
+	return bestH
+}

@@ -1,0 +1,113 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDichotomousConvex(t *testing.T) {
+	// Convex parabola with minimum at 13.
+	cost := func(h int) float64 { return float64((h - 13) * (h - 13)) }
+	if got := Dichotomous(0, 50, cost); got != 13 {
+		t.Errorf("Dichotomous = %d, want 13", got)
+	}
+	if got := Exhaustive(0, 50, cost); got != 13 {
+		t.Errorf("Exhaustive = %d, want 13", got)
+	}
+}
+
+func TestDichotomousMonotone(t *testing.T) {
+	dec := func(h int) float64 { return float64(100 - h) }
+	if got := Dichotomous(0, 30, dec); got != 30 {
+		t.Errorf("decreasing cost: got %d, want 30", got)
+	}
+	inc := func(h int) float64 { return float64(h) }
+	if got := Dichotomous(0, 30, inc); got != 0 {
+		t.Errorf("increasing cost: got %d, want 0", got)
+	}
+}
+
+func TestDichotomousDegenerate(t *testing.T) {
+	calls := 0
+	cost := func(h int) float64 { calls++; return 1 }
+	if got := Dichotomous(5, 5, cost); got != 5 {
+		t.Errorf("single point: %d", got)
+	}
+	if got := Dichotomous(7, 3, cost); got != 7 {
+		t.Errorf("empty range: %d", got)
+	}
+}
+
+func TestDichotomousEvaluationBudget(t *testing.T) {
+	calls := 0
+	cost := func(h int) float64 { calls++; return float64((h - 500) * (h - 500)) }
+	Dichotomous(0, 1000, cost)
+	// Memoized binary search: ~3 evaluations per halving step.
+	if calls > 50 {
+		t.Errorf("too many cost evaluations: %d", calls)
+	}
+}
+
+// Property: on convex functions the dichotomous search is exact.
+func TestDichotomousExactOnConvex(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		hi := rng.Intn(100) + 1
+		min := rng.Intn(hi + 1)
+		a := rng.Float64()*3 + 0.1
+		cost := func(h int) float64 { return a * float64(h-min) * float64(h-min) }
+		return Dichotomous(0, hi, cost) == min
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: result is never worse than both endpoints, and always within
+// range; on arbitrary (non-convex) functions the returned cost is at most
+// the worst evaluated endpoint.
+func TestDichotomousAlwaysReasonable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		hi := rng.Intn(60)
+		vals := make([]float64, hi+1)
+		for i := range vals {
+			vals[i] = rng.Float64() * 100
+		}
+		cost := func(h int) float64 { return vals[h] }
+		got := Dichotomous(0, hi, cost)
+		if got < 0 || got > hi {
+			return false
+		}
+		// Must be no worse than both endpoints (they are evaluated or
+		// dominated by an evaluated better point).
+		return vals[got] <= math.Max(vals[0], vals[hi])+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Exhaustive finds the global minimum.
+func TestExhaustiveGlobal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		hi := rng.Intn(40)
+		vals := make([]float64, hi+1)
+		for i := range vals {
+			vals[i] = rng.Float64()
+		}
+		got := Exhaustive(0, hi, func(h int) float64 { return vals[h] })
+		for _, v := range vals {
+			if v < vals[got] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

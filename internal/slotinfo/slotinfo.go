@@ -1,0 +1,346 @@
+// Package slotinfo analyzes the content of detected slots — the paper's
+// stated future work ("Work could be done to automatically extract and
+// process the information within each slot", Section V-D2). Slots tend to
+// carry consistent user-specific fields (Table XI: one slot always holds
+// times, another prices), but in messy formats ("until 9pm" vs "9 P.M").
+//
+// The package classifies slot tokens into field kinds (phone, price, time,
+// URL, handle, number, name/word), normalizes the common formats, and
+// aggregates a per-slot profile so an investigator's lead sheet can say
+// "slot 2 is a time field, slot 3 is a price field" — and list the
+// extracted values.
+package slotinfo
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Kind classifies one slot token.
+type Kind int
+
+// Field kinds, ordered roughly by specificity (classification tries the
+// most specific patterns first).
+const (
+	Word Kind = iota // default: plain text
+	Number
+	Price
+	Phone
+	Time
+	URL
+	Handle
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Word:
+		return "word"
+	case Number:
+		return "number"
+	case Price:
+		return "price"
+	case Phone:
+		return "phone"
+	case Time:
+		return "time"
+	case URL:
+		return "url"
+	case Handle:
+		return "handle"
+	}
+	return "unknown"
+}
+
+// Value is one extracted slot token with its classification and a
+// normalized form (digits for prices/numbers, 24h "hh:mm" for times,
+// bare digits for phones).
+type Value struct {
+	Raw        string
+	Kind       Kind
+	Normalized string
+}
+
+// Classify identifies a single token.
+func Classify(tok string) Value {
+	v := Value{Raw: tok, Kind: Word, Normalized: strings.ToLower(tok)}
+	switch {
+	case isURL(tok):
+		v.Kind = URL
+		v.Normalized = strings.ToLower(tok)
+	case isPhone(tok):
+		v.Kind = Phone
+		v.Normalized = digitsOf(tok)
+	case isTime(tok):
+		v.Kind = Time
+		v.Normalized = normalizeTime(tok)
+	case isPrice(tok):
+		v.Kind = Price
+		v.Normalized = digitsOf(tok)
+	case isNumber(tok):
+		v.Kind = Number
+		v.Normalized = digitsOf(tok)
+	}
+	return v
+}
+
+// ClassifySeq classifies a token sequence, merging context: a number
+// followed by "am"/"pm" is a time; a number preceded by a currency cue
+// is a price.
+func ClassifySeq(toks []string) []Value {
+	out := make([]Value, len(toks))
+	for i, t := range toks {
+		out[i] = Classify(t)
+	}
+	for i := range out {
+		if out[i].Kind != Number {
+			continue
+		}
+		if i+1 < len(out) && isMeridiem(out[i+1].Raw) {
+			out[i].Kind = Time
+			out[i].Normalized = normalizeTime(out[i].Raw + out[i+1].Raw)
+			out[i+1].Kind = Time
+			out[i+1].Normalized = out[i].Normalized
+			continue
+		}
+		if i > 0 && isCurrencyCue(out[i-1].Raw) {
+			out[i].Kind = Price
+		}
+	}
+	return out
+}
+
+// isURL accepts http(s) prefixes, tweet-mangled short links (httptco...),
+// and bare domains with a recognizable dot suffix.
+func isURL(s string) bool {
+	l := strings.ToLower(s)
+	if strings.HasPrefix(l, "http://") || strings.HasPrefix(l, "https://") ||
+		strings.HasPrefix(l, "httptco") || strings.HasPrefix(l, "www.") {
+		return true
+	}
+	if i := strings.LastIndexByte(l, '.'); i > 0 && i < len(l)-1 {
+		tld := l[i+1:]
+		switch tld {
+		case "com", "net", "org", "info", "biz", "io", "co", "test", "example", "me", "us":
+			// Domains are letter/digit/dot/hyphen only.
+			for _, r := range l {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '.' && r != '-' {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func isMeridiem(s string) bool {
+	l := strings.ToLower(strings.TrimRight(s, "."))
+	return l == "am" || l == "pm" || l == "a.m" || l == "p.m"
+}
+
+func isCurrencyCue(s string) bool {
+	switch strings.ToLower(s) {
+	case "$", "usd", "dollar", "dollars", "only", "just", "from":
+		return true
+	}
+	return false
+}
+
+func digitsOf(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if unicode.IsDigit(r) {
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+func isNumber(s string) bool {
+	if s == "" {
+		return false
+	}
+	dots := 0
+	for i, r := range s {
+		if r == '.' {
+			// One interior decimal point is allowed ("4.1").
+			dots++
+			if dots > 1 || i == 0 || i == len(s)-1 {
+				return false
+			}
+			continue
+		}
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// isPrice accepts $N, N$ and bare dollar-ish amounts with an explicit
+// currency mark; bare numbers are Kind Number (context may upgrade them).
+func isPrice(s string) bool {
+	if strings.HasPrefix(s, "$") && isNumber(s[1:]) {
+		return true
+	}
+	if strings.HasSuffix(s, "$") && isNumber(s[:len(s)-1]) {
+		return true
+	}
+	return false
+}
+
+// isPhone accepts 7+ digit tokens with optional separators (the
+// "123-456.7890" shapes the tokenizer keeps whole).
+func isPhone(s string) bool {
+	digits, seps := 0, 0
+	for _, r := range s {
+		switch {
+		case unicode.IsDigit(r):
+			digits++
+		case r == '-' || r == '.' || r == '(' || r == ')' || r == '+':
+			seps++
+		default:
+			return false
+		}
+	}
+	return digits >= 7 && digits <= 15
+}
+
+// isTime accepts "9pm", "10am", "9:30pm", "21:00".
+func isTime(s string) bool {
+	l := strings.ToLower(s)
+	for _, suffix := range []string{"am", "pm"} {
+		if h, ok := strings.CutSuffix(l, suffix); ok {
+			return validHour(h)
+		}
+	}
+	if h, m, ok := strings.Cut(l, ":"); ok {
+		return isNumber(h) && isNumber(m) && atoiOr(h, -1) < 24 && atoiOr(m, -1) < 60
+	}
+	return false
+}
+
+func validHour(h string) bool {
+	if hh, mm, ok := strings.Cut(h, ":"); ok {
+		return isNumber(hh) && isNumber(mm) && atoiOr(hh, -1) <= 12 && atoiOr(mm, -1) < 60
+	}
+	return isNumber(h) && atoiOr(h, -1) >= 1 && atoiOr(h, -1) <= 12
+}
+
+func atoiOr(s string, def int) int {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+// normalizeTime renders times as 24h "hh:mm".
+func normalizeTime(s string) string {
+	l := strings.ToLower(strings.ReplaceAll(s, " ", ""))
+	pm := strings.HasSuffix(l, "pm")
+	l = strings.TrimSuffix(strings.TrimSuffix(l, "pm"), "am")
+	hh, mm, ok := strings.Cut(l, ":")
+	if !ok {
+		mm = "00"
+	}
+	h := atoiOr(hh, 0)
+	if pm && h < 12 {
+		h += 12
+	}
+	if !pm && h == 12 {
+		h = 0
+	}
+	if len(mm) == 1 {
+		mm = "0" + mm
+	}
+	return pad2(h) + ":" + mm
+}
+
+func pad2(n int) string {
+	if n < 10 {
+		return "0" + strconv.Itoa(n)
+	}
+	return strconv.Itoa(n)
+}
+
+// Profile summarizes one slot across a template's documents: the dominant
+// field kind and the extracted values.
+type Profile struct {
+	// Dominant is the most frequent kind among non-empty fills.
+	Dominant Kind
+	// Purity is the fraction of fills matching the dominant kind.
+	Purity float64
+	// Values are the distinct normalized values, most frequent first.
+	Values []string
+	// Fills is the number of documents that put content in the slot.
+	Fills int
+}
+
+// Profiles aggregates per-slot content: fills[d][s] is document d's token
+// list for slot s (empty slices are legal — S(0) slots).
+func Profiles(fills [][][]string) []Profile {
+	if len(fills) == 0 {
+		return nil
+	}
+	numSlots := 0
+	for _, doc := range fills {
+		if len(doc) > numSlots {
+			numSlots = len(doc)
+		}
+	}
+	out := make([]Profile, numSlots)
+	for s := 0; s < numSlots; s++ {
+		kindCount := map[Kind]int{}
+		valCount := map[string]int{}
+		for _, doc := range fills {
+			if s >= len(doc) || len(doc[s]) == 0 {
+				continue
+			}
+			out[s].Fills++
+			vals := ClassifySeq(doc[s])
+			// The slot's kind for this doc: most specific token kind.
+			k := Word
+			for _, v := range vals {
+				if v.Kind > k {
+					k = v.Kind
+				}
+			}
+			kindCount[k]++
+			for _, v := range vals {
+				valCount[v.Normalized]++
+			}
+		}
+		best, bestN := Word, 0
+		for k, n := range kindCount {
+			if n > bestN || (n == bestN && k > best) {
+				best, bestN = k, n
+			}
+		}
+		out[s].Dominant = best
+		if out[s].Fills > 0 {
+			out[s].Purity = float64(bestN) / float64(out[s].Fills)
+		}
+		type vc struct {
+			v string
+			n int
+		}
+		var vcs []vc
+		for v, n := range valCount {
+			vcs = append(vcs, vc{v, n})
+		}
+		sort.Slice(vcs, func(i, j int) bool {
+			if vcs[i].n != vcs[j].n {
+				return vcs[i].n > vcs[j].n
+			}
+			return vcs[i].v < vcs[j].v
+		})
+		for _, x := range vcs {
+			out[s].Values = append(out[s].Values, x.v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package slotinfo
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassifyKinds(t *testing.T) {
+	cases := []struct {
+		tok  string
+		want Kind
+	}{
+		{"123-456.7890", Phone},
+		{"4125551234", Phone},
+		{"+1412555", Phone},
+		{"9pm", Time},
+		{"10am", Time},
+		{"9:30pm", Time},
+		{"21:00", Time},
+		{"$50", Price},
+		{"50$", Price},
+		{"50", Number},
+		{"httptcokbfwdfts", URL},
+		{"http://x.test/a", URL},
+		{"scam.com", URL},
+		{"hello", Word},
+		{"mia", Word},
+		{"", Word},
+		{"25am", Word},   // invalid hour
+		{"130", Number},  // too short for phone
+		{"9.30", Number}, // dotted number, not enough digits for phone
+	}
+	for _, c := range cases {
+		if got := Classify(c.tok); got.Kind != c.want {
+			t.Errorf("Classify(%q) = %v, want %v", c.tok, got.Kind, c.want)
+		}
+	}
+}
+
+func TestNormalization(t *testing.T) {
+	cases := []struct {
+		tok, want string
+	}{
+		{"9pm", "21:00"},
+		{"9am", "09:00"},
+		{"12am", "00:00"},
+		{"12pm", "12:00"},
+		{"9:30pm", "21:30"},
+		{"123-456.7890", "1234567890"},
+		{"$50", "50"},
+	}
+	for _, c := range cases {
+		if got := Classify(c.tok).Normalized; got != c.want {
+			t.Errorf("Classify(%q).Normalized = %q, want %q", c.tok, got, c.want)
+		}
+	}
+}
+
+func TestClassifySeqContext(t *testing.T) {
+	// "until 9 pm": 9 upgraded to Time by the following meridiem.
+	vals := ClassifySeq([]string{"until", "9", "pm"})
+	if vals[1].Kind != Time || vals[1].Normalized != "21:00" {
+		t.Errorf("contextual time: %+v", vals[1])
+	}
+	// "only 50 special": 50 upgraded to Price by the currency cue.
+	vals = ClassifySeq([]string{"only", "50", "special"})
+	if vals[1].Kind != Price {
+		t.Errorf("contextual price: %+v", vals[1])
+	}
+	// bare number without context stays Number.
+	vals = ClassifySeq([]string{"the", "50", "things"})
+	if vals[1].Kind != Number {
+		t.Errorf("bare number: %+v", vals[1])
+	}
+}
+
+func TestProfilesTypedSlots(t *testing.T) {
+	// Three documents, two slots: slot 0 holds names, slot 1 holds times.
+	fills := [][][]string{
+		{{"mia"}, {"until", "9", "pm"}},
+		{{"vera"}, {"10am"}},
+		{{"zoe"}, {"from", "11pm"}},
+		{{"mia"}, {}}, // empty fill: S(0)
+	}
+	profiles := Profiles(fills)
+	if len(profiles) != 2 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	if profiles[0].Dominant != Word || profiles[0].Fills != 4 {
+		t.Errorf("slot 0 profile: %+v", profiles[0])
+	}
+	if profiles[0].Values[0] != "mia" { // most frequent first
+		t.Errorf("slot 0 values: %v", profiles[0].Values)
+	}
+	if profiles[1].Dominant != Time || profiles[1].Fills != 3 {
+		t.Errorf("slot 1 profile: %+v", profiles[1])
+	}
+	if profiles[1].Purity != 1.0 {
+		t.Errorf("slot 1 purity: %v", profiles[1].Purity)
+	}
+}
+
+func TestProfilesEmpty(t *testing.T) {
+	if got := Profiles(nil); got != nil {
+		t.Errorf("Profiles(nil) = %v", got)
+	}
+	profiles := Profiles([][][]string{{}, {}})
+	if len(profiles) != 0 {
+		t.Errorf("no slots: %v", profiles)
+	}
+}
+
+// Property: Classify never panics and Normalized is non-empty whenever
+// Raw is non-empty and contains a digit or letter.
+func TestClassifyTotal(t *testing.T) {
+	f := func(s string) bool {
+		v := Classify(s)
+		_ = v.Kind.String()
+		return v.Raw == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ClassifySeq preserves length and raw tokens.
+func TestClassifySeqTotal(t *testing.T) {
+	f := func(toks []string) bool {
+		vals := ClassifySeq(toks)
+		if len(vals) != len(toks) {
+			return false
+		}
+		raws := make([]string, len(vals))
+		for i, v := range vals {
+			raws[i] = v.Raw
+		}
+		return reflect.DeepEqual(raws, toks) || len(toks) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,76 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// stateV1 is the on-disk representation of a detector's mined templates.
+// Tokens are stored as words (not vocabulary ids) so state survives
+// across processes with different vocabularies.
+type stateV1 struct {
+	Version   int               `json:"version"`
+	Templates []templateStateV1 `json:"templates"`
+}
+
+type templateStateV1 struct {
+	Words    []string `json:"words"` // "" at wildcard positions
+	Wild     []bool   `json:"wild"`
+	DocCount int      `json:"doc_count"`
+}
+
+// Save serializes the mined templates (not the pending buffer — flush
+// before saving if buffered documents matter).
+func (d *Detector) Save(w io.Writer) error {
+	st := stateV1{Version: 1}
+	for _, t := range d.templates {
+		ts := templateStateV1{
+			Wild:     append([]bool(nil), t.Wild...),
+			DocCount: t.DocCount,
+		}
+		for i, tok := range t.Tokens {
+			if t.Wild[i] {
+				ts.Words = append(ts.Words, "")
+				continue
+			}
+			ts.Words = append(ts.Words, d.vocab.Word(tok))
+		}
+		st.Templates = append(st.Templates, ts)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&st)
+}
+
+// Load restores templates saved by Save into a (typically fresh)
+// detector, merging after any templates it already holds. Document
+// counts resume from the saved values; assignments of the previous
+// process's documents are not restored (ids are process-local).
+func (d *Detector) Load(r io.Reader) error {
+	var st stateV1
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("stream: decode state: %w", err)
+	}
+	if st.Version != 1 {
+		return fmt.Errorf("stream: unsupported state version %d", st.Version)
+	}
+	for ti, ts := range st.Templates {
+		if len(ts.Words) != len(ts.Wild) {
+			return fmt.Errorf("stream: template %d: %d words vs %d wild flags",
+				ti, len(ts.Words), len(ts.Wild))
+		}
+		t := Template{
+			Wild:     append([]bool(nil), ts.Wild...),
+			Tokens:   make([]int, len(ts.Words)),
+			DocCount: ts.DocCount,
+		}
+		for i, w := range ts.Words {
+			if ts.Wild[i] {
+				continue
+			}
+			t.Tokens[i] = d.vocab.Add(w)
+		}
+		d.templates = append(d.templates, t)
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+// Package stream provides an incremental InfoShield detector for
+// continuously arriving documents — the deployment shape of the paper's
+// application (law enforcement receives new ads every day; spam filters
+// see tweets continuously).
+//
+// New documents are first tested against the already-mined templates with
+// the same MDL criterion the batch pipeline uses (C(d|T) < C(d), with
+// slots as wildcards); matches attach immediately. The rest buffer, and
+// when the buffer reaches BatchSize the full coarse+fine pipeline runs
+// over it to mine new templates. Everything stays deterministic for a
+// given input order.
+package stream
+
+import (
+	"infoshield/internal/align"
+	"infoshield/internal/core"
+	"infoshield/internal/mdl"
+	"infoshield/internal/template"
+	"infoshield/internal/tokenize"
+)
+
+// Assignment is the detector's verdict for one added document.
+type Assignment struct {
+	// Template is the index of the matched template, or -1.
+	Template int
+	// Pending reports that the document waits in the buffer for the next
+	// mining pass (its Template is -1 but may change on Flush).
+	Pending bool
+}
+
+// Template is one mined template with its running document count.
+type Template struct {
+	Pattern  template.Template
+	Wild     []bool // per position: is a slot (wildcard for matching)
+	Tokens   []int  // constants (slot positions keep the consensus token)
+	DocCount int
+}
+
+// Detector accumulates documents and templates incrementally.
+type Detector struct {
+	// BatchSize is the buffer size that triggers a mining pass
+	// (default 512).
+	BatchSize int
+	// Options configures the mining passes.
+	Options core.Options
+
+	tk        tokenize.Tokenizer
+	vocab     *tokenize.Vocab
+	templates []Template
+
+	pendingTexts []string
+	pendingIDs   []int // caller-visible doc ids of buffered docs
+
+	nextID      int
+	assignments map[int]int // doc id -> template index
+}
+
+// New creates an empty detector.
+func New(opt core.Options) *Detector {
+	return &Detector{
+		BatchSize:   512,
+		Options:     opt,
+		vocab:       tokenize.NewVocab(),
+		assignments: make(map[int]int),
+	}
+}
+
+// NumTemplates returns the number of mined templates.
+func (d *Detector) NumTemplates() int { return len(d.templates) }
+
+// Templates returns the mined templates (shared slice; do not mutate).
+func (d *Detector) Templates() []Template { return d.templates }
+
+// Pending returns how many documents wait for the next mining pass.
+func (d *Detector) Pending() int { return len(d.pendingTexts) }
+
+// Assignment returns the current verdict for a document id returned by Add.
+func (d *Detector) Assignment(id int) Assignment {
+	if t, ok := d.assignments[id]; ok {
+		return Assignment{Template: t}
+	}
+	for _, pid := range d.pendingIDs {
+		if pid == id {
+			return Assignment{Template: -1, Pending: true}
+		}
+	}
+	return Assignment{Template: -1}
+}
+
+// Add ingests one document and returns its id. The document either
+// attaches to an existing template immediately or buffers for the next
+// mining pass (triggered automatically at BatchSize).
+func (d *Detector) Add(text string) int {
+	id := d.nextID
+	d.nextID++
+	toks := d.vocab.Encode(d.tk.Tokens(text))
+	if t := d.matchTemplate(toks); t >= 0 {
+		d.assignments[id] = t
+		d.templates[t].DocCount++
+		return id
+	}
+	d.pendingTexts = append(d.pendingTexts, text)
+	d.pendingIDs = append(d.pendingIDs, id)
+	if len(d.pendingTexts) >= d.batchSize() {
+		d.Flush()
+	}
+	return id
+}
+
+// AddBatch ingests many documents and returns their ids.
+func (d *Detector) AddBatch(texts []string) []int {
+	ids := make([]int, len(texts))
+	for i, t := range texts {
+		ids[i] = d.Add(t)
+	}
+	return ids
+}
+
+func (d *Detector) batchSize() int {
+	if d.BatchSize <= 0 {
+		return 512
+	}
+	return d.BatchSize
+}
+
+// matchTemplate returns the cheapest template whose encoding of toks
+// beats the standalone cost, or -1. Slots match as wildcards and their
+// fill is charged via S(w) ≈ S(1) per slot.
+func (d *Detector) matchTemplate(toks []int) int {
+	if len(toks) == 0 || len(d.templates) == 0 {
+		return -1
+	}
+	V := d.vocab.Size()
+	standalone := mdl.DocCost(len(toks), V)
+	best, bestCost := -1, standalone
+	numT := len(d.templates)
+	for ti := range d.templates {
+		t := &d.templates[ti]
+		a := align.PairwiseWild(t.Tokens, t.Wild, toks)
+		slotWords := make([]int, 0, 4)
+		for i, w := range t.Wild {
+			if w {
+				// Approximate: one word per matched slot position.
+				_ = i
+				slotWords = append(slotWords, 1)
+			}
+		}
+		cost := mdl.DataCostMatched(mdl.AlignStats{
+			AlignLen:   a.Len(),
+			Unmatched:  a.Distance(),
+			AddedWords: a.Subs + a.Inss,
+			SlotWords:  slotWords,
+		}, numT, V)
+		if cost < bestCost {
+			best, bestCost = ti, cost
+		}
+	}
+	return best
+}
+
+// Flush mines the buffered documents with the batch pipeline, appending
+// any accepted templates and assigning their member documents. Buffered
+// documents that end in no template are released as noise (their
+// assignment stays -1 and is final).
+func (d *Detector) Flush() {
+	if len(d.pendingTexts) == 0 {
+		return
+	}
+	res := core.Run(d.pendingTexts, d.Options)
+	for ci := range res.Clusters {
+		for _, tr := range res.Clusters[ci].Templates {
+			// Re-encode the template over the detector's own vocabulary.
+			tokens := make([]int, tr.Template.Len())
+			wild := make([]bool, tr.Template.Len())
+			for i, tid := range tr.Template.TokenIDs {
+				if tr.Template.IsSlot[i] {
+					wild[i] = true
+					if tid >= 0 {
+						tokens[i] = d.vocab.Add(res.Vocab.Word(tid))
+					}
+					continue
+				}
+				tokens[i] = d.vocab.Add(res.Vocab.Word(tid))
+			}
+			ti := len(d.templates)
+			d.templates = append(d.templates, Template{
+				Pattern:  tr.Template,
+				Wild:     wild,
+				Tokens:   tokens,
+				DocCount: len(tr.Docs),
+			})
+			for _, local := range tr.Docs {
+				d.assignments[d.pendingIDs[local]] = ti
+			}
+		}
+	}
+	d.pendingTexts = nil
+	d.pendingIDs = nil
+}

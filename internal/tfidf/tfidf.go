@@ -1,0 +1,217 @@
+// Package tfidf implements the phrase-scoring half of InfoShield-Coarse:
+// n-gram (1..MaxN) tf-idf over a tokenized corpus and extraction of each
+// document's top-scoring phrases. The paper keeps phrases up to 5-grams
+// and the top ~10% of each document's phrases, making the count a function
+// of document size so results are not dominated by document length.
+package tfidf
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// Default parameter values. MaxN and TopFraction come from the paper;
+// RelativeFloor is this implementation's selection-quality guard (see the
+// Extractor field docs).
+const (
+	DefaultMaxN          = 5
+	DefaultTopFraction   = 0.10
+	DefaultRelativeFloor = 0.4
+)
+
+// sep joins n-gram tokens into a single map key. US (unit separator)
+// cannot appear in tokens, which never contain control characters after
+// tokenization of ordinary text; even if it did, a collision only merges
+// two phrases, never corrupts state.
+const sep = "\x1f"
+
+// Key converts an n-gram token slice into its canonical phrase key.
+func Key(tokens []string) string { return strings.Join(tokens, sep) }
+
+// KeyTokens splits a phrase key back into tokens.
+func KeyTokens(key string) []string { return strings.Split(key, sep) }
+
+// Extractor computes per-document top phrases by tf-idf.
+// The zero value uses the paper's defaults.
+type Extractor struct {
+	// MaxN is the longest n-gram considered (paper: 5).
+	MaxN int
+	// TopFraction is the fraction of a document's distinct phrases kept
+	// (paper: top 10%). At least one phrase is always kept for non-empty
+	// documents.
+	TopFraction float64
+	// RelativeFloor drops phrases whose idf falls below this fraction of
+	// the document's best phrase idf (default 0.4 — equivalently, a
+	// document-frequency cap near N^0.6 when the document has unique
+	// phrases). "Top phrases" means phrases comparably rare to the
+	// document's rarest, not a quota filled with whatever ranks next:
+	// without the floor, high-entropy documents spend leftover budget on
+	// ubiquitous fillers (single CJK particles, common unigrams) whose
+	// hub-like document frequency wires unrelated documents into one
+	// giant component. The floor is on idf, not tf·idf, so a repeated
+	// common filler cannot buy its way back in — while a large legitimate
+	// near-duplicate cluster (df = cluster size, still sublinear in N)
+	// stays selectable.
+	RelativeFloor float64
+}
+
+func (e *Extractor) maxN() int {
+	if e.MaxN <= 0 {
+		return DefaultMaxN
+	}
+	return e.MaxN
+}
+
+func (e *Extractor) topFraction() float64 {
+	if e.TopFraction <= 0 {
+		return DefaultTopFraction
+	}
+	return e.TopFraction
+}
+
+func (e *Extractor) relativeFloor() float64 {
+	if e.RelativeFloor <= 0 {
+		return DefaultRelativeFloor
+	}
+	return e.RelativeFloor
+}
+
+// phraseInfo records a phrase's term frequency and first occurrence.
+type phraseInfo struct {
+	tf  int
+	pos int // start of the first occurrence
+	n   int // phrase length in tokens
+}
+
+// phraseSet returns the distinct phrase keys of one tokenized document,
+// with term frequencies and first-occurrence positions.
+func (e *Extractor) phraseSet(tokens []string) map[string]phraseInfo {
+	maxN := e.maxN()
+	set := make(map[string]phraseInfo)
+	for n := 1; n <= maxN; n++ {
+		for i := 0; i+n <= len(tokens); i++ {
+			k := Key(tokens[i : i+n])
+			info, seen := set[k]
+			if !seen {
+				info = phraseInfo{pos: i, n: n}
+			}
+			info.tf++
+			set[k] = info
+		}
+	}
+	return set
+}
+
+// TopPhrases returns, for each tokenized document, its highest-tf-idf
+// phrase keys. Ties break lexicographically so output is deterministic.
+//
+// Selection dynamics matter more than any single score here, and two
+// details make the bipartite graph behave the way the paper describes:
+//
+//   - df = 1 phrases stay eligible even though they can never contribute
+//     an edge. They are the budget sink that keeps diverse documents
+//     isolated: a genuine tweet full of rare words spends its whole top-k
+//     on its own unique n-grams, so medium-frequency phrases ("i love",
+//     "the coffee") are never selected and never wire unrelated documents
+//     together. Near-duplicates, by contrast, share long constant chunks
+//     whose phrases have df = cluster size — rare corpus-wide, so they
+//     win the budget on every member and become edges.
+//   - zero-score phrases (df = N) are excluded: selecting ubiquitous
+//     phrases as a last resort would connect the whole corpus.
+func (e *Extractor) TopPhrases(docs [][]string) [][]string {
+	n := len(docs)
+	// Pass 1: document frequencies.
+	df := make(map[string]int, n*4)
+	sets := make([]map[string]phraseInfo, n)
+	for i, toks := range docs {
+		set := e.phraseSet(toks)
+		sets[i] = set
+		for p := range set {
+			df[p]++
+		}
+	}
+	// Pass 2: score and select.
+	out := make([][]string, n)
+	frac := e.topFraction()
+	type scored struct {
+		phrase string
+		info   phraseInfo
+		idf    float64
+		score  float64
+	}
+	for i, set := range sets {
+		if len(set) == 0 {
+			continue
+		}
+		cand := make([]scored, 0, len(set))
+		maxIdf := 0.0
+		for p, info := range set {
+			idf := math.Log(float64(n) / float64(df[p]))
+			score := float64(info.tf) * idf
+			if score <= 0 {
+				continue
+			}
+			if idf > maxIdf {
+				maxIdf = idf
+			}
+			cand = append(cand, scored{p, info, idf, score})
+		}
+		if len(cand) == 0 {
+			continue
+		}
+		sort.Slice(cand, func(a, b int) bool {
+			if cand[a].score != cand[b].score {
+				return cand[a].score > cand[b].score
+			}
+			return cand[a].phrase < cand[b].phrase
+		})
+		// The budget is a fraction of the document's total phrase count
+		// (a function of document size, per the paper).
+		k := int(math.Ceil(frac * float64(len(set))))
+		if k < 1 {
+			k = 1
+		}
+		// Positional diversity: a phrase is only selected if every token
+		// of its first occurrence is still uncovered. Without this, the
+		// O(MaxN²) overlapping n-grams around a single rare token exhaust
+		// the budget and the document never exposes the phrases it shares
+		// with its near-duplicates.
+		covered := make([]bool, len(docs[i]))
+		floor := maxIdf * e.relativeFloor()
+		var top []string
+		for _, c := range cand {
+			if len(top) >= k {
+				break
+			}
+			if c.idf < floor {
+				continue
+			}
+			fresh := true
+			for p := c.info.pos; p < c.info.pos+c.info.n; p++ {
+				if covered[p] {
+					fresh = false
+					break
+				}
+			}
+			if !fresh {
+				continue
+			}
+			for p := c.info.pos; p < c.info.pos+c.info.n; p++ {
+				covered[p] = true
+			}
+			top = append(top, c.phrase)
+		}
+		out[i] = top
+	}
+	return out
+}
+
+// Score computes the tf-idf of one phrase given its term frequency,
+// document frequency, and corpus size — exposed for tests and tooling.
+func Score(tf, df, numDocs int) float64 {
+	if df <= 0 || numDocs <= 0 {
+		return 0
+	}
+	return float64(tf) * math.Log(float64(numDocs)/float64(df))
+}

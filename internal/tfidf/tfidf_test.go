@@ -1,0 +1,219 @@
+package tfidf
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func tok(s string) []string { return strings.Fields(s) }
+
+func TestKeyRoundTrip(t *testing.T) {
+	toks := []string{"cheap", "viagra", "now"}
+	if got := KeyTokens(Key(toks)); !reflect.DeepEqual(got, toks) {
+		t.Errorf("round trip = %v", got)
+	}
+}
+
+func TestPhraseSetCounts(t *testing.T) {
+	e := &Extractor{MaxN: 2}
+	set := e.phraseSet(tok("a b a b"))
+	// unigrams: a(2) b(2); bigrams: "a b"(2) "b a"(1)
+	if got := set[Key([]string{"a"})]; got.tf != 2 || got.pos != 0 || got.n != 1 {
+		t.Errorf("info(a) = %+v", got)
+	}
+	if got := set[Key([]string{"a", "b"})]; got.tf != 2 || got.pos != 0 || got.n != 2 {
+		t.Errorf("info(a b) = %+v", got)
+	}
+	if got := set[Key([]string{"b", "a"})]; got.tf != 1 || got.pos != 1 {
+		t.Errorf("info(b a) = %+v", got)
+	}
+	if len(set) != 4 {
+		t.Errorf("distinct phrases = %d, want 4", len(set))
+	}
+}
+
+func TestPhraseSetShortDoc(t *testing.T) {
+	e := &Extractor{MaxN: 5}
+	set := e.phraseSet(tok("only two"))
+	// 2 unigrams + 1 bigram; no 3..5-grams possible.
+	if len(set) != 3 {
+		t.Errorf("distinct phrases = %d, want 3", len(set))
+	}
+}
+
+func TestScore(t *testing.T) {
+	if got := Score(2, 1, 10); math.Abs(got-2*math.Log(10)) > 1e-12 {
+		t.Errorf("Score = %v", got)
+	}
+	// A phrase in every document scores zero.
+	if got := Score(5, 10, 10); got != 0 {
+		t.Errorf("ubiquitous phrase score = %v, want 0", got)
+	}
+	if got := Score(1, 0, 10); got != 0 {
+		t.Errorf("df=0 score = %v", got)
+	}
+}
+
+func TestTopPhrasesPrefersRarePhrases(t *testing.T) {
+	// Every doc shares "the common prefix"; docs 0,1 share a rare phrase.
+	docs := [][]string{
+		tok("the common prefix cheap viagra call now"),
+		tok("the common prefix cheap viagra call today"),
+		tok("the common prefix totally unrelated words here"),
+		tok("the common prefix more different content again"),
+		tok("the common prefix nothing shared at all"),
+	}
+	e := &Extractor{MaxN: 3, TopFraction: 0.10}
+	top := e.TopPhrases(docs)
+	// Docs 0 and 1 share the rare "cheap viagra call" phrases: selected.
+	for _, i := range []int{0, 1} {
+		if len(top[i]) == 0 {
+			t.Fatalf("doc %d got no top phrases", i)
+		}
+	}
+	for i := range docs {
+		for _, p := range top[i] {
+			// "the common prefix" appears in all docs: idf=0, never top.
+			if p == Key([]string{"the", "common", "prefix"}) {
+				t.Errorf("doc %d selected a zero-idf phrase", i)
+			}
+		}
+	}
+	// Docs 2-4 spend their budget on their own df=1 phrases (harmless:
+	// they can never become edges), never on the ubiquitous prefix.
+	for _, i := range []int{2, 3, 4} {
+		if len(top[i]) == 0 {
+			t.Errorf("doc %d selected nothing", i)
+		}
+	}
+}
+
+func TestTopPhrasesEmptyDoc(t *testing.T) {
+	e := &Extractor{}
+	top := e.TopPhrases([][]string{nil, tok("one doc"), tok("one doc")})
+	if top[0] != nil {
+		t.Errorf("empty doc top = %v", top[0])
+	}
+	// The two duplicates share every phrase: both select something.
+	if len(top[1]) == 0 || len(top[2]) == 0 {
+		t.Errorf("duplicate docs should keep phrases: %v", top)
+	}
+}
+
+func TestTopPhrasesSingletonDocsShareNothing(t *testing.T) {
+	// Fully distinct documents select only their own df=1 phrases, so
+	// their selections are disjoint — no edges can form.
+	e := &Extractor{}
+	top := e.TopPhrases([][]string{
+		tok("completely unique text one"),
+		tok("entirely distinct material two"),
+	})
+	seen := make(map[string]bool)
+	for _, phrases := range top {
+		for _, p := range phrases {
+			if seen[p] {
+				t.Errorf("distinct docs share selected phrase %q", p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestTopPhrasesDeterministic(t *testing.T) {
+	docs := [][]string{tok("x y z"), tok("x y w"), tok("p q r")}
+	e := &Extractor{}
+	a := e.TopPhrases(docs)
+	b := e.TopPhrases(docs)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("TopPhrases not deterministic")
+	}
+}
+
+func TestTopFractionControlsCount(t *testing.T) {
+	doc := strings.Fields("a b c d e f g h i j k l m n o p q r s t")
+	// Exact duplicate pair (every phrase df=2, equal scores) plus an
+	// unrelated third doc so idf > 0.
+	docs := [][]string{doc, doc, tok("unrelated other text entirely")}
+	small := (&Extractor{MaxN: 2, TopFraction: 0.05}).TopPhrases(docs)
+	large := (&Extractor{MaxN: 2, TopFraction: 0.5}).TopPhrases(docs)
+	if len(small[0]) == 0 || len(small[0]) >= len(large[0]) {
+		t.Errorf("top-fraction not respected: %d vs %d", len(small[0]), len(large[0]))
+	}
+	// Budget ceil(0.5 · 39) = 20; all scores tie, lexicographic order
+	// selects the 20 unigrams (each bigram overlaps a selected unigram).
+	if len(large[0]) != 20 {
+		t.Errorf("large fraction count = %d, want 20", len(large[0]))
+	}
+}
+
+// Property: near-duplicate documents share at least one top phrase —
+// the contract InfoShield-Coarse depends on.
+func TestNearDuplicatesShareTopPhrase(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := []string{"this", "is", "a", "great", "soap", "and", "the", "price", "is", "great"}
+		// Two near-duplicates: one word substituted.
+		d1 := append([]string(nil), base...)
+		d2 := append([]string(nil), base...)
+		d2[4] = "chair"
+		// Plus background noise docs of random words.
+		vocabulary := []string{"red", "blue", "fast", "slow", "cat", "dog", "run", "eat", "sky", "sea"}
+		docs := [][]string{d1, d2}
+		for i := 0; i < 20; i++ {
+			doc := make([]string, 8)
+			for j := range doc {
+				doc[j] = vocabulary[rng.Intn(len(vocabulary))]
+			}
+			docs = append(docs, doc)
+		}
+		e := &Extractor{}
+		top := e.TopPhrases(docs)
+		set := make(map[string]bool)
+		for _, p := range top[0] {
+			set[p] = true
+		}
+		for _, p := range top[1] {
+			if set[p] {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every selected phrase actually occurs in its document.
+func TestTopPhrasesOccurInDoc(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vocabulary := []string{"a", "b", "c", "d", "e"}
+		docs := make([][]string, 6)
+		for i := range docs {
+			doc := make([]string, rng.Intn(10)+1)
+			for j := range doc {
+				doc[j] = vocabulary[rng.Intn(len(vocabulary))]
+			}
+			docs[i] = doc
+		}
+		e := &Extractor{MaxN: 3}
+		for i, phrases := range e.TopPhrases(docs) {
+			joined := " " + strings.Join(docs[i], " ") + " "
+			for _, p := range phrases {
+				needle := " " + strings.Join(KeyTokens(p), " ") + " "
+				if !strings.Contains(joined, needle) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,46 @@
+package tokenize
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+	"unicode/utf8"
+)
+
+// FuzzTokens drives the tokenizer with arbitrary byte strings: it must
+// never panic, never emit empty or whitespace-bearing tokens, and be
+// idempotent under re-joining.
+func FuzzTokens(f *testing.F) {
+	f.Add("This is a great soap, and the 5 dollar price is great")
+	f.Add("call 123-456.7890 or visit scam.com")
+	f.Add("今日は映画を見た 123 abc")
+	f.Add("  \t\n mixed spaces　everywhere ")
+	f.Add("\x00\xff\xfe broken utf8 \xc3\x28")
+	f.Fuzz(func(t *testing.T, s string) {
+		var tk Tokenizer
+		toks := tk.Tokens(s)
+		for _, tok := range toks {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			if strings.ContainsFunc(tok, unicode.IsSpace) {
+				t.Fatalf("token with whitespace: %q", tok)
+			}
+			if !utf8.ValidString(tok) && utf8.ValidString(s) {
+				t.Fatalf("invalid UTF-8 token %q from valid input", tok)
+			}
+		}
+		// Idempotence (only meaningful for valid inputs).
+		if utf8.ValidString(s) {
+			again := tk.Tokens(strings.Join(toks, " "))
+			if len(again) != len(toks) {
+				t.Fatalf("not idempotent: %d vs %d tokens", len(toks), len(again))
+			}
+			for i := range toks {
+				if toks[i] != again[i] {
+					t.Fatalf("token %d changed: %q -> %q", i, toks[i], again[i])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,133 @@
+// Package tokenize provides the language-independent tokenizer and the
+// vocabulary (string interning) used by every other InfoShield component.
+//
+// The paper's method is deliberately language-agnostic: no stop-word lists,
+// no stemming, no syntax. Tokenization is therefore intentionally simple and
+// Unicode-aware:
+//
+//   - input is lower-cased (Unicode case folding),
+//   - whitespace separates tokens,
+//   - surrounding punctuation is trimmed but *interior* punctuation is kept,
+//     so "scam.com", "123-456.7890" and mangled URLs survive as one token,
+//   - runs of CJK characters (which carry no spaces) are split into
+//     single-character tokens, the standard language-independent fallback.
+package tokenize
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenizer converts raw document text into token slices. The zero value is
+// ready to use. Tokenizer is stateless and safe for concurrent use.
+type Tokenizer struct {
+	// KeepCase disables lower-casing when true. The paper lower-cases
+	// everything (see Table X, where "PR Daily" becomes "pr daily").
+	KeepCase bool
+}
+
+// Tokens splits text into tokens according to the rules documented on the
+// package. It never returns empty-string tokens.
+func (t Tokenizer) Tokens(text string) []string {
+	if !t.KeepCase {
+		text = strings.ToLower(text)
+	}
+	var out []string
+	field := make([]rune, 0, 32)
+	flush := func() {
+		if len(field) == 0 {
+			return
+		}
+		for _, tok := range splitField(field) {
+			if tok != "" {
+				out = append(out, tok)
+			}
+		}
+		field = field[:0]
+	}
+	for _, r := range text {
+		if unicode.IsSpace(r) {
+			flush()
+			continue
+		}
+		field = append(field, r)
+	}
+	flush()
+	return out
+}
+
+// splitField handles one whitespace-delimited field: trims surrounding
+// punctuation and splits out CJK runes as single-character tokens.
+func splitField(field []rune) []string {
+	// Trim leading/trailing non-letter/digit runes, keeping interior ones.
+	start, end := 0, len(field)
+	for start < end && !isWordRune(field[start]) {
+		start++
+	}
+	for end > start && !isWordRune(field[end-1]) {
+		end--
+	}
+	field = field[start:end]
+	if len(field) == 0 {
+		return nil
+	}
+	// Fast path: no CJK runes.
+	hasCJK := false
+	for _, r := range field {
+		if isCJK(r) {
+			hasCJK = true
+			break
+		}
+	}
+	if !hasCJK {
+		return []string{string(field)}
+	}
+	var toks []string
+	cur := make([]rune, 0, len(field))
+	emit := func() {
+		if tok := trimNonWord(cur); tok != "" {
+			toks = append(toks, tok)
+		}
+		cur = cur[:0]
+	}
+	for _, r := range field {
+		if isCJK(r) {
+			emit()
+			// Radicals and symbols in CJK blocks are not letters; drop
+			// them like any other punctuation.
+			if isWordRune(r) {
+				toks = append(toks, string(r))
+			}
+			continue
+		}
+		cur = append(cur, r)
+	}
+	emit()
+	return toks
+}
+
+// trimNonWord strips leading/trailing runes that cannot begin or end a
+// token and returns the remainder, possibly empty.
+func trimNonWord(rs []rune) string {
+	start, end := 0, len(rs)
+	for start < end && !isWordRune(rs[start]) {
+		start++
+	}
+	for end > start && !isWordRune(rs[end-1]) {
+		end--
+	}
+	return string(rs[start:end])
+}
+
+// isWordRune reports whether r can begin or end a token.
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// isCJK reports whether r belongs to a script written without spaces
+// (Han, Hiragana, Katakana). Hangul is spaced and is left alone.
+func isCJK(r rune) bool {
+	return unicode.Is(unicode.Han, r) ||
+		unicode.Is(unicode.Hiragana, r) ||
+		unicode.Is(unicode.Katakana, r)
+}

@@ -1,0 +1,195 @@
+package viz
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"math"
+)
+
+// Series is one scatter series (points of one color).
+type Series struct {
+	Name  string
+	Color string
+	X, Y  []float64
+}
+
+// Curve is a polyline (e.g. a lower-bound curve).
+type Curve struct {
+	Name  string
+	Color string
+	X, Y  []float64
+}
+
+// ScatterSVG renders a standalone SVG scatter plot, optionally with
+// log-scaled axes — enough to regenerate the paper's Figure 3 as an
+// actual figure. It is intentionally minimal: no dependency, fixed
+// canvas, powers-of-ten ticks on log axes.
+func ScatterSVG(w io.Writer, title, xlabel, ylabel string, logX, logY bool,
+	series []Series, curves []Curve) error {
+	const (
+		width, height            = 640, 480
+		left, right, top, bottom = 70, 20, 40, 50
+	)
+	plotW := float64(width - left - right)
+	plotH := float64(height - top - bottom)
+
+	// Data range.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	consider := func(xs, ys []float64) {
+		for i := range xs {
+			x, y := xs[i], ys[i]
+			if logX && x <= 0 || logY && y <= 0 {
+				continue
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	for _, s := range series {
+		consider(s.X, s.Y)
+	}
+	for _, c := range curves {
+		consider(c.X, c.Y)
+	}
+	if math.IsInf(minX, 1) {
+		minX, maxX, minY, maxY = 0, 1, 0, 1
+	}
+	// Log axes need strictly positive ranges even when no data qualified.
+	if logX && minX <= 0 {
+		minX, maxX = 0.1, 1
+	}
+	if logY && minY <= 0 {
+		minY, maxY = 0.1, 1
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+	tx := func(x float64) float64 {
+		if logX {
+			return float64(left) + (math.Log10(x)-math.Log10(minX))/(math.Log10(maxX)-math.Log10(minX))*plotW
+		}
+		return float64(left) + (x-minX)/(maxX-minX)*plotW
+	}
+	ty := func(y float64) float64 {
+		var f float64
+		if logY {
+			f = (math.Log10(y) - math.Log10(minY)) / (math.Log10(maxY) - math.Log10(minY))
+		} else {
+			f = (y - minY) / (maxY - minY)
+		}
+		return float64(top) + (1-f)*plotH
+	}
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(w, `<text x="%d" y="20" font-size="15" font-weight="bold">%s</text>`+"\n", left, html.EscapeString(title))
+	// Axes.
+	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		left, height-bottom, width-right, height-bottom)
+	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		left, top, left, height-bottom)
+	fmt.Fprintf(w, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+		left+int(plotW/2), height-12, html.EscapeString(xlabel))
+	fmt.Fprintf(w, `<text x="16" y="%d" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		top+int(plotH/2), top+int(plotH/2), html.EscapeString(ylabel))
+	// Ticks.
+	writeTicks(w, minX, maxX, logX, func(v float64) (float64, float64) { return tx(v), float64(height - bottom) }, true)
+	writeTicks(w, minY, maxY, logY, func(v float64) (float64, float64) { return float64(left), ty(v) }, false)
+	// Curves.
+	for _, c := range curves {
+		fmt.Fprintf(w, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="`, c.Color)
+		for i := range c.X {
+			if logX && c.X[i] <= 0 || logY && c.Y[i] <= 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%.1f,%.1f ", tx(c.X[i]), ty(c.Y[i]))
+		}
+		fmt.Fprint(w, `"/>`+"\n")
+	}
+	// Points.
+	for _, s := range series {
+		for i := range s.X {
+			if logX && s.X[i] <= 0 || logY && s.Y[i] <= 0 {
+				continue
+			}
+			fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s" fill-opacity="0.75"/>`+"\n",
+				tx(s.X[i]), ty(s.Y[i]), s.Color)
+		}
+	}
+	// Legend.
+	ly := top + 8
+	for _, s := range series {
+		fmt.Fprintf(w, `<circle cx="%d" cy="%d" r="4" fill="%s"/><text x="%d" y="%d">%s</text>`+"\n",
+			width-right-120, ly, s.Color, width-right-110, ly+4, html.EscapeString(s.Name))
+		ly += 18
+	}
+	for _, c := range curves {
+		if c.Name == "" {
+			continue
+		}
+		fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/><text x="%d" y="%d">%s</text>`+"\n",
+			width-right-128, ly, width-right-112, ly, c.Color, width-right-110, ly+4, html.EscapeString(c.Name))
+		ly += 18
+	}
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}
+
+// writeTicks emits tick marks and labels; for log axes, at powers of ten.
+func writeTicks(w io.Writer, min, max float64, log bool,
+	pos func(float64) (x, y float64), xAxis bool) {
+	var ticks []float64
+	if log {
+		for p := math.Floor(math.Log10(min)); p <= math.Ceil(math.Log10(max)); p++ {
+			v := math.Pow(10, p)
+			if v >= min*0.999 && v <= max*1.001 {
+				ticks = append(ticks, v)
+			}
+		}
+	} else {
+		step := niceStep(max - min)
+		for v := math.Ceil(min/step) * step; v <= max+step*1e-9; v += step {
+			ticks = append(ticks, v)
+		}
+	}
+	for _, v := range ticks {
+		x, y := pos(v)
+		label := trimFloat(v)
+		if xAxis {
+			fmt.Fprintf(w, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", x, y, x, y+5)
+			fmt.Fprintf(w, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n", x, y+18, label)
+		} else {
+			fmt.Fprintf(w, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", x-5, y, x, y)
+			fmt.Fprintf(w, `<text x="%.1f" y="%.1f" text-anchor="end">%s</text>`+"\n", x-8, y+4, label)
+		}
+	}
+}
+
+func niceStep(span float64) float64 {
+	if span <= 0 {
+		return 1
+	}
+	raw := span / 6
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	switch {
+	case raw/mag < 1.5:
+		return mag
+	case raw/mag < 3.5:
+		return 2 * mag
+	case raw/mag < 7.5:
+		return 5 * mag
+	}
+	return 10 * mag
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e7 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}

@@ -1,0 +1,66 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScatterSVGBasic(t *testing.T) {
+	var buf bytes.Buffer
+	err := ScatterSVG(&buf, "Title & Co", "x <axis>", "y",
+		false, false,
+		[]Series{{Name: "a", Color: "#f00", X: []float64{1, 2, 3}, Y: []float64{4, 5, 6}}},
+		[]Curve{{Name: "bound", Color: "#000", X: []float64{1, 3}, Y: []float64{4, 6}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "Title &amp; Co", "x &lt;axis&gt;", "polyline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	if got := strings.Count(out, "<circle"); got < 3 {
+		t.Errorf("points rendered: %d", got)
+	}
+}
+
+func TestScatterSVGLogAxesSkipNonPositive(t *testing.T) {
+	var buf bytes.Buffer
+	err := ScatterSVG(&buf, "log", "x", "y", true, true,
+		[]Series{{Name: "s", Color: "#00f",
+			X: []float64{0, -1, 0.1, 10}, Y: []float64{1, 1, 2, 200}}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Only the two positive points render (plus one legend marker).
+	if got := strings.Count(out, "<circle"); got != 3 {
+		t.Errorf("circles = %d, want 3 (2 points + legend)", got)
+	}
+	if !strings.Contains(out, ">10<") {
+		t.Errorf("log ticks missing power-of-ten label:\n%s", out)
+	}
+}
+
+func TestScatterSVGEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ScatterSVG(&buf, "empty", "x", "y", true, true, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "</svg>") {
+		t.Error("empty plot not closed")
+	}
+}
+
+func TestNiceStep(t *testing.T) {
+	cases := []struct{ span, want float64 }{
+		{10, 2}, {100, 20}, {1, 0.2}, {7, 1}, {0, 1}, {60, 10},
+	}
+	for _, c := range cases {
+		if got := niceStep(c.span); got != c.want {
+			t.Errorf("niceStep(%v) = %v, want %v", c.span, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package viz renders discovered templates and their member documents in
+// the paper's five-color scheme (Table IV): constants plain, slots red,
+// insertions green, deletions struck through, substitutions yellow — as
+// ANSI terminal text and as standalone HTML. Interpretability is the
+// point of InfoShield: an investigator reads one template instead of a
+// wall of near-duplicate documents.
+package viz
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strings"
+
+	"infoshield/internal/template"
+	"infoshield/internal/tokenize"
+)
+
+// Palette maps piece kinds to ANSI escape sequences.
+type Palette struct {
+	Const, Slot, Ins, Del, Sub, Reset string
+}
+
+// ANSIPalette is the default terminal palette.
+var ANSIPalette = Palette{
+	Const: "",
+	Slot:  "\x1b[1;31m", // bold red, like the paper's figures
+	Ins:   "\x1b[32m",   // green
+	Del:   "\x1b[9;90m", // struck-through gray
+	Sub:   "\x1b[33m",   // yellow
+	Reset: "\x1b[0m",
+}
+
+// PlainPalette marks pieces with ASCII brackets instead of colors, for
+// logs and tests.
+var PlainPalette = Palette{
+	Slot: "[*", Ins: "[+", Del: "[-", Sub: "[~", Reset: "]",
+}
+
+func (p Palette) wrap(kind template.PieceOp, text string) string {
+	var open string
+	switch kind {
+	case template.SlotFill:
+		open = p.Slot
+	case template.Ins:
+		open = p.Ins
+	case template.Del:
+		open = p.Del
+	case template.Sub:
+		open = p.Sub
+	default:
+		return text
+	}
+	if open == "" {
+		return text
+	}
+	return open + text + p.Reset
+}
+
+// TemplateLine renders the template itself: constants verbatim, slots as
+// a highlighted "*".
+func TemplateLine(t template.Template, vocab *tokenize.Vocab, p Palette) string {
+	parts := make([]string, 0, t.Len())
+	for i, id := range t.TokenIDs {
+		if t.IsSlot[i] {
+			parts = append(parts, p.wrap(template.SlotFill, "*"))
+			continue
+		}
+		parts = append(parts, vocab.Word(id))
+	}
+	return strings.Join(parts, " ")
+}
+
+// DocLine renders one member document's pieces with the palette.
+func DocLine(fit *template.Fit, row int, vocab *tokenize.Vocab, p Palette) string {
+	var parts []string
+	for _, piece := range fit.DocPieces(row) {
+		words := make([]string, len(piece.Tokens))
+		for i, id := range piece.Tokens {
+			words[i] = vocab.Word(id)
+		}
+		parts = append(parts, p.wrap(piece.Op, strings.Join(words, " ")))
+	}
+	return strings.Join(parts, " ")
+}
+
+// WriteCluster renders a whole template with its documents to w using the
+// palette — the terminal equivalent of the paper's Table IV.
+func WriteCluster(w io.Writer, label string, t template.Template, fit *template.Fit,
+	docIDs []int, vocab *tokenize.Vocab, p Palette) {
+	fmt.Fprintf(w, "%s  %s\n", label, TemplateLine(t, vocab, p))
+	for row := range fit.M.Rows {
+		id := row
+		if row < len(docIDs) {
+			id = docIDs[row]
+		}
+		fmt.Fprintf(w, "  #%-5d %s\n", id, DocLine(fit, row, vocab, p))
+	}
+}
+
+// htmlClass maps piece kinds to CSS classes.
+func htmlClass(op template.PieceOp) string {
+	switch op {
+	case template.SlotFill:
+		return "slot"
+	case template.Ins:
+		return "ins"
+	case template.Del:
+		return "del"
+	case template.Sub:
+		return "sub"
+	}
+	return ""
+}
+
+const htmlHeader = `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>InfoShield clusters</title>
+<style>
+body { font-family: sans-serif; margin: 2em; }
+table { border-collapse: collapse; margin-bottom: 2em; }
+td, th { border: 1px solid #ccc; padding: 4px 8px; text-align: left; }
+th { background: #f0f0f0; }
+.slot { color: #c00; font-weight: bold; }
+.ins  { color: #080; }
+.del  { color: #888; text-decoration: line-through; }
+.sub  { color: #a60; }
+caption { font-weight: bold; text-align: left; padding: 4px 0; }
+.legend span { margin-right: 1em; }
+</style></head><body>
+<h1>InfoShield — discovered templates</h1>
+<p class="legend">
+<span>constant</span>
+<span class="slot">slot</span>
+<span class="ins">insertion</span>
+<span class="del">deletion</span>
+<span class="sub">substitution</span>
+</p>
+`
+
+// HTMLReport writes a standalone HTML page showing every template and its
+// documents. clusters pairs a label with a template result.
+type HTMLCluster struct {
+	Label  string
+	T      template.Template
+	Fit    *template.Fit
+	DocIDs []int
+}
+
+// WriteHTML renders all clusters as one HTML document.
+func WriteHTML(w io.Writer, clusters []HTMLCluster, vocab *tokenize.Vocab) error {
+	if _, err := io.WriteString(w, htmlHeader); err != nil {
+		return err
+	}
+	for _, c := range clusters {
+		fmt.Fprintf(w, "<table><caption>%s</caption>\n", html.EscapeString(c.Label))
+		fmt.Fprint(w, "<tr><th>doc</th><th>text</th></tr>\n")
+		// Template row.
+		fmt.Fprint(w, "<tr><th>T</th><td>")
+		for i, id := range c.T.TokenIDs {
+			if i > 0 {
+				fmt.Fprint(w, " ")
+			}
+			if c.T.IsSlot[i] {
+				fmt.Fprint(w, `<span class="slot">*</span>`)
+			} else {
+				fmt.Fprint(w, html.EscapeString(vocab.Word(id)))
+			}
+		}
+		fmt.Fprint(w, "</td></tr>\n")
+		for row := range c.Fit.M.Rows {
+			id := row
+			if row < len(c.DocIDs) {
+				id = c.DocIDs[row]
+			}
+			fmt.Fprintf(w, "<tr><td>#%d</td><td>", id)
+			for j, piece := range c.Fit.DocPieces(row) {
+				if j > 0 {
+					fmt.Fprint(w, " ")
+				}
+				words := make([]string, len(piece.Tokens))
+				for i, tid := range piece.Tokens {
+					words[i] = vocab.Word(tid)
+				}
+				text := html.EscapeString(strings.Join(words, " "))
+				if cls := htmlClass(piece.Op); cls != "" {
+					fmt.Fprintf(w, `<span class=%q>%s</span>`, cls, text)
+				} else {
+					fmt.Fprint(w, text)
+				}
+			}
+			fmt.Fprint(w, "</td></tr>\n")
+		}
+		fmt.Fprint(w, "</table>\n")
+	}
+	_, err := io.WriteString(w, "</body></html>\n")
+	return err
+}

@@ -1,0 +1,101 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"infoshield/internal/core"
+	"infoshield/internal/template"
+	"infoshield/internal/tokenize"
+)
+
+// clusteredResult runs the pipeline on a tiny duplicate corpus and
+// returns the first template.
+func clusteredResult(t *testing.T) (*core.Result, core.TemplateResult) {
+	t.Helper()
+	docs := []string{
+		"buy cheap pills online now visit example.test today friends",
+		"buy cheap pills online now visit example.test today friends",
+		"buy cheap pills online now visit other.test today friends",
+		"completely unrelated text about gardening and tomato plants maybe",
+		"another unrelated sentence mentioning mountains and rivers here too",
+	}
+	res := core.Run(docs, core.Options{})
+	if len(res.Clusters) == 0 || len(res.Clusters[0].Templates) == 0 {
+		t.Fatal("pipeline found no template on duplicate corpus")
+	}
+	return res, res.Clusters[0].Templates[0]
+}
+
+func TestTemplateLinePlain(t *testing.T) {
+	res, tr := clusteredResult(t)
+	line := TemplateLine(tr.Template, res.Vocab, PlainPalette)
+	if !strings.Contains(line, "cheap pills online") {
+		t.Errorf("template line missing constants: %q", line)
+	}
+}
+
+func TestDocLineReconstructsText(t *testing.T) {
+	res, tr := clusteredResult(t)
+	// With an empty palette, the doc line is the tokenized document text
+	// (modulo deleted template tokens, absent here).
+	line := DocLine(tr.Fit, 0, res.Vocab, Palette{})
+	var tk tokenize.Tokenizer
+	want := strings.Join(tk.Tokens("buy cheap pills online now visit example.test today friends"), " ")
+	if line != want {
+		t.Errorf("doc line = %q, want %q", line, want)
+	}
+}
+
+func TestWriteClusterANSI(t *testing.T) {
+	res, tr := clusteredResult(t)
+	var buf bytes.Buffer
+	WriteCluster(&buf, "T1", tr.Template, tr.Fit, tr.Docs, res.Vocab, ANSIPalette)
+	out := buf.String()
+	if !strings.Contains(out, "T1") {
+		t.Error("missing label")
+	}
+	if !strings.Contains(out, "#0") {
+		t.Errorf("missing doc ids: %s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 1+len(tr.Docs) {
+		t.Errorf("expected %d lines, got %d", 1+len(tr.Docs), lines)
+	}
+}
+
+func TestWriteHTML(t *testing.T) {
+	res, tr := clusteredResult(t)
+	var buf bytes.Buffer
+	err := WriteHTML(&buf, []HTMLCluster{{
+		Label: "Cluster <1>", T: tr.Template, Fit: tr.Fit, DocIDs: tr.Docs,
+	}}, res.Vocab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<!DOCTYPE html>", "</html>", "Cluster &lt;1&gt;", "cheap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+	if strings.Contains(out, "<1>") {
+		t.Error("unescaped label in HTML")
+	}
+}
+
+func TestPaletteWrap(t *testing.T) {
+	got := PlainPalette.wrap(template.SlotFill, "x")
+	if got != "[*x]" {
+		t.Errorf("wrap slot = %q", got)
+	}
+	got = PlainPalette.wrap(template.Const, "x")
+	if got != "x" {
+		t.Errorf("wrap const = %q", got)
+	}
+	got = ANSIPalette.wrap(template.Ins, "y")
+	if !strings.HasPrefix(got, "\x1b[32m") || !strings.HasSuffix(got, "\x1b[0m") {
+		t.Errorf("ANSI ins = %q", got)
+	}
+}

@@ -1,0 +1,129 @@
+package infoshield
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"infoshield/internal/core"
+	"infoshield/internal/viz"
+)
+
+// Result is the outcome of Detect.
+type Result struct {
+	res      *core.Result
+	clusters []Cluster
+}
+
+// Cluster is one refined micro-cluster: at least one template plus
+// compression diagnostics.
+type Cluster struct {
+	// Templates discovered inside this cluster.
+	Templates []Template
+	// Docs is the union of member document indices (into the Detect
+	// input), ascending.
+	Docs []int
+	// RelativeLength is compressed/uncompressed cost (Eq. 7): near its
+	// LowerBound means near-duplicates; near 1 means weak structure.
+	RelativeLength float64
+	// LowerBound is the Lemma-1 floor t/n + 1/lg V for this cluster.
+	LowerBound float64
+}
+
+// Template is one discovered pattern.
+type Template struct {
+	// Pattern renders constants verbatim and slots as "*".
+	Pattern string
+	// Slots is the number of slot positions.
+	Slots int
+	// Docs are the indices of the documents this template encodes, in
+	// alignment order.
+	Docs []int
+}
+
+func newResult(res *core.Result) *Result {
+	r := &Result{res: res}
+	for i := range res.Clusters {
+		cc := &res.Clusters[i]
+		pc := Cluster{
+			Docs:           cc.Docs,
+			RelativeLength: cc.RelativeLength(),
+			LowerBound:     cc.LowerBound(res.Vocab.Size()),
+		}
+		for _, tr := range cc.Templates {
+			pc.Templates = append(pc.Templates, Template{
+				Pattern: patternString(tr, res),
+				Slots:   tr.Template.NumSlots(),
+				Docs:    tr.Docs,
+			})
+		}
+		r.clusters = append(r.clusters, pc)
+	}
+	return r
+}
+
+// patternString renders constants verbatim and slots as "*".
+func patternString(tr core.TemplateResult, res *core.Result) string {
+	var sb strings.Builder
+	for i, id := range tr.Template.TokenIDs {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if tr.Template.IsSlot[i] {
+			sb.WriteByte('*')
+		} else {
+			sb.WriteString(res.Vocab.Word(id))
+		}
+	}
+	return sb.String()
+}
+
+// Clusters returns the discovered micro-clusters in deterministic order.
+func (r *Result) Clusters() []Cluster { return r.clusters }
+
+// Suspicious returns, per input document, whether it was encoded by any
+// template — the binary prediction the paper evaluates precision and
+// recall on.
+func (r *Result) Suspicious() []bool { return r.res.Suspicious() }
+
+// DocTemplate returns, per input document, the global index of the
+// template that encodes it, or -1. Template indices enumerate
+// Clusters()[i].Templates in order.
+func (r *Result) DocTemplate() []int { return r.res.DocTemplate }
+
+// NumTemplates returns the total number of discovered templates.
+func (r *Result) NumTemplates() int { return r.res.NumTemplates() }
+
+// VocabSize returns V, the number of distinct tokens in the corpus.
+func (r *Result) VocabSize() int { return r.res.Vocab.Size() }
+
+// WriteText renders every cluster with ANSI colors (constants plain,
+// slots red, insertions green, deletions struck, substitutions yellow).
+func (r *Result) WriteText(w io.Writer) {
+	tid := 0
+	for ci := range r.res.Clusters {
+		for _, tr := range r.res.Clusters[ci].Templates {
+			label := fmt.Sprintf("T%d", tid)
+			viz.WriteCluster(w, label, tr.Template, tr.Fit, tr.Docs, r.res.Vocab, viz.ANSIPalette)
+			tid++
+		}
+	}
+}
+
+// WriteHTML renders every cluster as a standalone HTML report.
+func (r *Result) WriteHTML(w io.Writer) error {
+	var clusters []viz.HTMLCluster
+	tid := 0
+	for ci := range r.res.Clusters {
+		for _, tr := range r.res.Clusters[ci].Templates {
+			clusters = append(clusters, viz.HTMLCluster{
+				Label:  fmt.Sprintf("Template %d (%d documents)", tid, len(tr.Docs)),
+				T:      tr.Template,
+				Fit:    tr.Fit,
+				DocIDs: tr.Docs,
+			})
+			tid++
+		}
+	}
+	return viz.WriteHTML(w, clusters, r.res.Vocab)
+}

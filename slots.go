@@ -1,0 +1,85 @@
+package infoshield
+
+import (
+	"sort"
+
+	"infoshield/internal/core"
+	"infoshield/internal/slotinfo"
+)
+
+// SlotProfile describes what one slot of a template holds across the
+// template's documents — the automated version of the paper's Table XI
+// annotations ("this slot always discusses time"). This implements the
+// extension the paper marks as future work in Section V-D2.
+type SlotProfile struct {
+	// Kind is the dominant field type: "phone", "price", "time", "url",
+	// "handle", "number", or "word".
+	Kind string
+	// Purity is the fraction of non-empty fills matching Kind.
+	Purity float64
+	// Fills is the number of documents that put content in the slot.
+	Fills int
+	// Values lists the distinct normalized fill values, most common first.
+	Values []string
+}
+
+// SlotProfiles returns the per-slot content analysis of a template
+// (indexed as in DocTemplate), or nil for an out-of-range index.
+func (r *Result) SlotProfiles(templateIndex int) []SlotProfile {
+	tr := r.templateAt(templateIndex)
+	if tr == nil {
+		return nil
+	}
+	fills := make([][][]string, len(tr.Fit.M.Rows))
+	for row := range tr.Fit.M.Rows {
+		rowFills := tr.Fit.SlotFills(row)
+		words := make([][]string, len(rowFills))
+		for s, ids := range rowFills {
+			words[s] = r.res.Vocab.Decode(ids)
+		}
+		fills[row] = words
+	}
+	var out []SlotProfile
+	for _, p := range slotinfo.Profiles(fills) {
+		out = append(out, SlotProfile{
+			Kind:   p.Dominant.String(),
+			Purity: p.Purity,
+			Fills:  p.Fills,
+			Values: p.Values,
+		})
+	}
+	return out
+}
+
+// templateAt resolves a global template index to its TemplateResult.
+func (r *Result) templateAt(idx int) *core.TemplateResult {
+	if idx < 0 {
+		return nil
+	}
+	tid := 0
+	for ci := range r.res.Clusters {
+		for ti := range r.res.Clusters[ci].Templates {
+			if tid == idx {
+				return &r.res.Clusters[ci].Templates[ti]
+			}
+			tid++
+		}
+	}
+	return nil
+}
+
+// Ranked returns the clusters ordered for triage, most suspicious first:
+// primarily by compression quality (relative length ascending — closer to
+// the Lemma-1 bound means more organized), with larger clusters first on
+// ties. This is the "ranked output" property of the paper's Table I: an
+// investigator with limited time starts from the top.
+func (r *Result) Ranked() []Cluster {
+	out := append([]Cluster(nil), r.clusters...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].RelativeLength != out[j].RelativeLength {
+			return out[i].RelativeLength < out[j].RelativeLength
+		}
+		return len(out[i].Docs) > len(out[j].Docs)
+	})
+	return out
+}

@@ -1,0 +1,79 @@
+package infoshield
+
+import (
+	"fmt"
+	"testing"
+)
+
+// slottedCorpus builds a campaign whose slots carry typed content.
+func slottedCorpus() []string {
+	names := []string{"mia", "vera", "zoe", "jade", "cora", "lily", "anna", "ruby"}
+	docs := make([]string, 0, len(names))
+	for i, n := range names {
+		docs = append(docs, fmt.Sprintf(
+			"grand opening come visit %s today at our downtown studio call 412-555.%04d price %d dollars",
+			n, 1000+i*7, 40+i*10))
+	}
+	for i := 0; i < 300; i++ {
+		docs = append(docs, fmt.Sprintf(
+			"zz%daa zz%dbb zz%dcc zz%ddd zz%dee zz%dff zz%dgg zz%dhh", i, i, i, i, i, i, i, i))
+	}
+	return docs
+}
+
+func TestSlotProfilesTyped(t *testing.T) {
+	res := Detect(slottedCorpus(), Config{})
+	if res.NumTemplates() == 0 {
+		t.Fatal("no template found")
+	}
+	profiles := res.SlotProfiles(0)
+	if len(profiles) == 0 {
+		t.Fatal("no slot profiles")
+	}
+	kinds := map[string]bool{}
+	for _, p := range profiles {
+		kinds[p.Kind] = true
+		if p.Fills == 0 {
+			t.Errorf("profile with zero fills: %+v", p)
+		}
+		if p.Purity < 0 || p.Purity > 1 {
+			t.Errorf("purity out of range: %+v", p)
+		}
+		if len(p.Values) == 0 {
+			t.Errorf("no values: %+v", p)
+		}
+	}
+	// The campaign's slots carry names (word), phones, and prices; at
+	// least two distinct typed kinds should surface.
+	if len(kinds) < 2 {
+		t.Errorf("kinds = %v, want >= 2 distinct", kinds)
+	}
+}
+
+func TestSlotProfilesOutOfRange(t *testing.T) {
+	res := Detect(slottedCorpus(), Config{})
+	if got := res.SlotProfiles(-1); got != nil {
+		t.Errorf("negative index: %v", got)
+	}
+	if got := res.SlotProfiles(res.NumTemplates() + 5); got != nil {
+		t.Errorf("past-end index: %v", got)
+	}
+}
+
+func TestRankedOrdering(t *testing.T) {
+	res := Detect(demoCorpus(), Config{})
+	ranked := res.Ranked()
+	if len(ranked) != len(res.Clusters()) {
+		t.Fatalf("ranked %d vs %d clusters", len(ranked), len(res.Clusters()))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].RelativeLength < ranked[i-1].RelativeLength {
+			t.Errorf("not sorted by relative length at %d", i)
+		}
+	}
+	// Ranked must not mutate the original order.
+	orig := res.Clusters()
+	if len(orig) > 1 && &orig[0] == &ranked[0] {
+		t.Log("note: shares backing array? values copied, fine")
+	}
+}

@@ -1,0 +1,50 @@
+package infoshield
+
+import (
+	"infoshield/internal/stream"
+)
+
+// StreamDetector ingests documents incrementally: each document either
+// attaches to an already-mined template immediately (the same MDL
+// criterion as the batch pipeline, with slots matching as wildcards) or
+// buffers until BatchSize documents accumulate, at which point the full
+// pipeline mines new templates from the buffer.
+//
+// This is the deployment shape of the paper's application: ads and tweets
+// arrive continuously, and known campaigns should be recognized without
+// re-clustering the world.
+type StreamDetector struct {
+	d *stream.Detector
+}
+
+// NewStreamDetector creates an empty incremental detector. batchSize <= 0
+// selects the default (512).
+func NewStreamDetector(cfg Config, batchSize int) *StreamDetector {
+	d := stream.New(cfg.toCore())
+	if batchSize > 0 {
+		d.BatchSize = batchSize
+	}
+	return &StreamDetector{d: d}
+}
+
+// Add ingests one document and returns its id.
+func (s *StreamDetector) Add(text string) int { return s.d.Add(text) }
+
+// AddBatch ingests many documents and returns their ids.
+func (s *StreamDetector) AddBatch(texts []string) []int { return s.d.AddBatch(texts) }
+
+// Flush forces a mining pass over the buffered documents.
+func (s *StreamDetector) Flush() { s.d.Flush() }
+
+// Template returns the template index assigned to a document id, or -1.
+// pending reports that the document still waits for the next mining pass.
+func (s *StreamDetector) Template(id int) (template int, pending bool) {
+	a := s.d.Assignment(id)
+	return a.Template, a.Pending
+}
+
+// NumTemplates returns the number of templates mined so far.
+func (s *StreamDetector) NumTemplates() int { return s.d.NumTemplates() }
+
+// Pending returns the number of buffered documents.
+func (s *StreamDetector) Pending() int { return s.d.Pending() }

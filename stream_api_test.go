@@ -1,0 +1,41 @@
+package infoshield
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestStreamDetectorFacade(t *testing.T) {
+	s := NewStreamDetector(Config{}, 0)
+	var docs []string
+	for i := 0; i < 25; i++ {
+		docs = append(docs, fmt.Sprintf(
+			"flash sale grab the deluxe winter bundle now at shop%04d.example today", i))
+	}
+	for i := 0; i < 300; i++ {
+		docs = append(docs, fmt.Sprintf(
+			"sx%daa sx%dbb sx%dcc sx%ddd sx%dee sx%dff sx%dgg sx%dhh", i, i, i, i, i, i, i, i))
+	}
+	ids := s.AddBatch(docs)
+	s.Flush()
+	if s.NumTemplates() == 0 {
+		t.Fatal("no templates mined")
+	}
+	matched := 0
+	for _, id := range ids[:25] {
+		if tpl, _ := s.Template(id); tpl >= 0 {
+			matched++
+		}
+	}
+	if matched < 20 {
+		t.Errorf("only %d/25 campaign docs matched", matched)
+	}
+	// New campaign member attaches without buffering.
+	id := s.Add("flash sale grab the deluxe winter bundle now at shop9999.example today")
+	if tpl, pending := s.Template(id); tpl < 0 || pending {
+		t.Errorf("live match failed: tpl=%d pending=%v", tpl, pending)
+	}
+	if s.Pending() > 1 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+}
