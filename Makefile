@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: check test build vet bench bench-coarse bench-all experiments
+
+## check: the full gate — vet, build, and race-enabled tests.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+## bench: the end-to-end pipeline benchmark at both corpus sizes,
+## repeated for stable numbers.
+bench:
+	$(GO) test -bench=PipelineEndToEnd -benchmem -count=5 -run '^$$'
+
+## bench-coarse: the coarse-pass microbenchmarks, including the
+## 1/2/4/8-worker scaling sweep.
+bench-coarse:
+	$(GO) test -bench='Coarse|TopPhrase' -benchmem -run '^$$'
+
+bench-all:
+	$(GO) test -bench=. -benchmem -run '^$$'
+
+## experiments: regenerate the paper's tables and figures (small scale).
+experiments:
+	$(GO) run ./cmd/experiments

@@ -112,14 +112,18 @@ func twitterTexts(b *testing.B, accounts int) []string {
 	return c.Texts()
 }
 
-// BenchmarkPipelineEndToEnd measures full Detect throughput on a ~2k-tweet
-// mixed corpus (docs/op scales linearly per Fig 2 / Lemma 2).
+// BenchmarkPipelineEndToEnd measures full Detect throughput on mixed
+// corpora of ~2k and ~8k tweets (docs/op scales linearly per Fig 2 /
+// Lemma 2; the two sizes track the scaling curve, not just one point).
 func BenchmarkPipelineEndToEnd(b *testing.B) {
-	texts := twitterTexts(b, 50)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		Detect(texts, Config{})
+	for _, accounts := range []int{50, 200} {
+		texts := twitterTexts(b, accounts)
+		b.Run(fmt.Sprintf("accounts=%d", accounts), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Detect(texts, Config{})
+			}
+		})
 	}
 }
 
@@ -138,7 +142,24 @@ func BenchmarkCoarse(b *testing.B) {
 	}
 }
 
-// BenchmarkTopPhrases isolates the tf-idf phrase extraction.
+// BenchmarkCoarseParallel sweeps the coarse pass's worker pool so the
+// scaling curve across cores is tracked, not just the default point.
+func BenchmarkCoarseParallel(b *testing.B) {
+	texts := twitterTexts(b, 50)
+	var tk tokenize.Tokenizer
+	words := tk.All(texts, 0)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.Coarse(words, core.Options{Workers: workers})
+			}
+		})
+	}
+}
+
+// BenchmarkTopPhrases isolates the tf-idf phrase extraction through the
+// string-keyed compatibility wrapper (the pre-rewrite measurement point).
 func BenchmarkTopPhrases(b *testing.B) {
 	texts := twitterTexts(b, 50)
 	var tk tokenize.Tokenizer
@@ -151,6 +172,25 @@ func BenchmarkTopPhrases(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ex.TopPhrases(words)
+	}
+}
+
+// BenchmarkTopPhraseIDs measures the hashed-key extraction path the
+// pipeline actually runs (no string materialization at all).
+func BenchmarkTopPhraseIDs(b *testing.B) {
+	texts := twitterTexts(b, 50)
+	var tk tokenize.Tokenizer
+	words := tk.All(texts, 0)
+	vocab := tokenize.NewVocab()
+	tokens := make([][]int, len(words))
+	for i, w := range words {
+		tokens[i] = vocab.Encode(w)
+	}
+	ex := &tfidf.Extractor{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex.TopPhraseIDs(tokens, vocab)
 	}
 }
 

@@ -36,7 +36,7 @@ func main() {
 	topFrac := flag.Float64("top-fraction", 0, "coarse top-phrase fraction (0 = paper default 0.10)")
 	starMSA := flag.Bool("star-msa", false, "use star MSA instead of partial order alignment")
 	noSlots := flag.Bool("no-slots", false, "disable slot detection")
-	workers := flag.Int("workers", 0, "concurrent cluster refinement (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "worker pool for the whole pipeline (0 = GOMAXPROCS); never changes output")
 	flag.Parse()
 
 	if flag.NArg() != 1 {

@@ -47,7 +47,11 @@ type Config struct {
 	UseStarMSA bool
 	// DisableSlots turns slot detection off.
 	DisableSlots bool
-	// Workers bounds concurrent cluster refinement (default GOMAXPROCS).
+	// Workers bounds the worker pool used across the whole pipeline:
+	// tokenization, coarse phrase extraction and scoring, LSH signature
+	// computation, and concurrent cluster refinement (default GOMAXPROCS).
+	// Output is identical for any value — parallelism never changes what
+	// Detect returns, only how fast it returns it.
 	Workers int
 }
 

@@ -51,10 +51,7 @@ func (tm TemplateMatching) Run(texts []string) Result {
 	tm = tm.withDefaults()
 	var tk tokenize.Tokenizer
 	m := lsh.NewMinHasher(tm.NumHashes, tm.Shingle, tm.Seed)
-	sigs := make([][]uint64, len(texts))
-	for i, t := range texts {
-		sigs[i] = m.Signature(tk.Tokens(t))
-	}
+	sigs := m.Signatures(tk.All(texts, 0), 0)
 	res := Result{
 		Pred:     make([]bool, len(texts)),
 		Clusters: make([]int, len(texts)),

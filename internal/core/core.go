@@ -37,8 +37,10 @@ type Options struct {
 	UseStarMSA bool
 	// DisableSlots turns slot detection off (ablation).
 	DisableSlots bool
-	// Workers bounds the number of coarse clusters refined concurrently
-	// (default: GOMAXPROCS).
+	// Workers bounds the worker pool for every parallel stage of the
+	// pipeline — tokenization, phrase extraction and scoring, LSH
+	// signatures, and concurrent cluster refinement (default:
+	// GOMAXPROCS). Any value produces identical output.
 	Workers int
 }
 
@@ -103,6 +105,9 @@ type Result struct {
 	// CoarseDuration and FineDuration time the two pipeline stages
 	// (tokenization is counted in CoarseDuration).
 	CoarseDuration, FineDuration time.Duration
+	// CoarseStages breaks CoarseDuration into its parallel sub-stages
+	// (tokenize / extract / score / components).
+	CoarseStages CoarseTimings
 }
 
 // NumTemplates returns the total template count across clusters.
@@ -126,15 +131,20 @@ func (r *Result) Suspicious() []bool {
 }
 
 // Run executes the full InfoShield pipeline over raw document texts.
+//
+// The front half is parallel in two phases that keep the output
+// byte-identical to a serial run: word-splitting fans out over
+// opt.workers() goroutines (the tokenizer is stateless), then vocabulary
+// encoding replays the documents in order so token ids keep their
+// first-seen assignment. Phrase extraction and scoring parallelize inside
+// coarseEncoded; cluster refinement parallelizes per coarse cluster.
 func Run(texts []string, opt Options) *Result {
 	start := time.Now()
 	var tk tokenize.Tokenizer
+	words := tk.All(texts, opt.workers())
 	vocab := tokenize.NewVocab()
 	tokens := make([][]int, len(texts))
-	words := make([][]string, len(texts))
-	for i, text := range texts {
-		w := tk.Tokens(text)
-		words[i] = w
+	for i, w := range words {
 		tokens[i] = vocab.Encode(w)
 	}
 	res := &Result{
@@ -145,8 +155,11 @@ func Run(texts []string, opt Options) *Result {
 	for i := range res.DocTemplate {
 		res.DocTemplate[i] = -1
 	}
+	tokenizeDone := time.Now()
 
-	coarse, top := Coarse(words, opt)
+	coarse, top, stages := coarseEncoded(words, tokens, vocab, opt)
+	stages.Tokenize = tokenizeDone.Sub(start)
+	res.CoarseStages = stages
 	res.CoarseClusters = len(coarse)
 	res.CoarseDuration = time.Since(start)
 	fineStart := time.Now()

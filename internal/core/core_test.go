@@ -307,3 +307,42 @@ func TestRunLSHCoarseAblation(t *testing.T) {
 		}
 	}
 }
+
+func TestCoarseStrictJoinsExactDuplicates(t *testing.T) {
+	// Exact duplicates select identical top phrases, so they clear any
+	// small MinSharedPhrases threshold — exercising the canonicalized
+	// pair counting of coarseStrict.
+	doc := strings.Fields(
+		"alpha beta gamma delta epsilon zeta eta theta iota kappa lambda mu nu xi omicron pi")
+	docs := [][]string{doc, doc}
+	for i := 0; i < 10; i++ {
+		docs = append(docs, strings.Fields(fmt.Sprintf(
+			"bgz%da bgz%db bgz%dc bgz%dd bgz%de bgz%df", i, i, i, i, i, i)))
+	}
+	clusters, _ := Coarse(docs, Options{MinSharedPhrases: 2})
+	if len(clusters) != 1 || !reflect.DeepEqual(clusters[0], []int{0, 1}) {
+		t.Errorf("strict(2) clusters = %v, want [[0 1]]", clusters)
+	}
+}
+
+func TestRunWorkerInvariance(t *testing.T) {
+	// The whole pipeline — tokenize, coarse, fine — must produce the
+	// same Result for any worker count, including LSH and strict modes.
+	docs := toyCorpus()
+	for _, opt := range []Options{{}, {UseLSHCoarse: true}, {MinSharedPhrases: 2}} {
+		o1 := opt
+		o1.Workers = 1
+		ref := Run(docs, o1)
+		for _, w := range []int{2, 8} {
+			ow := opt
+			ow.Workers = w
+			got := Run(docs, ow)
+			if !reflect.DeepEqual(got.DocTemplate, ref.DocTemplate) {
+				t.Errorf("opt %+v workers=%d: DocTemplate differs", opt, w)
+			}
+			if !reflect.DeepEqual(got.Clusters, ref.Clusters) {
+				t.Errorf("opt %+v workers=%d: Clusters differ", opt, w)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"infoshield/internal/mdl"
 	"infoshield/internal/poa"
 	"infoshield/internal/template"
+	"infoshield/internal/tfidf"
 )
 
 // Fine runs InfoShield-Fine (Algorithm 4) on one coarse cluster: repeat
@@ -23,12 +24,12 @@ import (
 // restriction is what keeps Fine sub-quadratic on large heterogeneous
 // coarse components — the Σ k·S·log(S)·l² complexity of Lemma 2 assumes
 // exactly this kind of homogeneous candidate pool.
-func Fine(docIDs []int, tokens [][]int, top [][]string, vocabSize int, opt Options) []TemplateResult {
+func Fine(docIDs []int, tokens [][]int, top [][]tfidf.PhraseID, vocabSize int, opt Options) []TemplateResult {
 	var out []TemplateResult
 	n := len(docIDs)
 	// Posting lists over cluster-local indices, plus sorted token copies
 	// for the allocation-free overlap screen.
-	postings := make(map[string][]int)
+	postings := make(map[tfidf.PhraseID][]int)
 	sorted := make([][]int, n)
 	for i, d := range docIDs {
 		sorted[i] = align.SortedCopy(tokens[d])

@@ -111,7 +111,7 @@ func TestUnionFindSetCount(t *testing.T) {
 }
 
 func TestBipartiteClusters(t *testing.T) {
-	b := NewBipartite(6)
+	b := NewBipartite[string](6)
 	// docs 0,1 share "cheap viagra"; docs 1,2 share "call now";
 	// docs 4,5 share "hot deal"; doc 3 isolated.
 	b.AddEdge(0, "cheap viagra")
@@ -153,7 +153,7 @@ func TestBipartiteMatchesBruteForce(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		nDocs := rng.Intn(15) + 2
 		phrases := []string{"p0", "p1", "p2", "p3", "p4"}
-		b := NewBipartite(nDocs)
+		b := NewBipartite[string](nDocs)
 		adj := make(map[string][]int)
 		for d := 0; d < nDocs; d++ {
 			for _, p := range phrases {

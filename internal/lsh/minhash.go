@@ -11,6 +11,7 @@ import (
 	"hash/fnv"
 
 	"infoshield/internal/graph"
+	"infoshield/internal/par"
 )
 
 // MinHasher computes fixed-length MinHash signatures of token-shingle
@@ -92,6 +93,19 @@ func (m *MinHasher) Signature(tokens []string) []uint64 {
 		}
 	}
 	return sig
+}
+
+// Signatures computes every document's signature across workers
+// goroutines (<= 0: GOMAXPROCS). Signature computation is read-only on
+// the hasher, so the result matches the serial loop exactly.
+func (m *MinHasher) Signatures(docs [][]string, workers int) [][]uint64 {
+	sigs := make([][]uint64, len(docs))
+	par.Ranges(len(docs), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sigs[i] = m.Signature(docs[i])
+		}
+	})
+	return sigs
 }
 
 // EstimateJaccard estimates the Jaccard similarity of two signatures.

@@ -3,6 +3,7 @@ package lsh
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
@@ -156,5 +157,25 @@ func TestBandsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestSignaturesMatchesSerial(t *testing.T) {
+	m := NewMinHasher(64, 2, 9)
+	docs := [][]string{
+		toks("the quick brown fox"),
+		toks("jumps over the lazy dog"),
+		nil,
+		toks("a b c d e f g h i j k l m n o p"),
+	}
+	want := make([][]uint64, len(docs))
+	for i, d := range docs {
+		want[i] = m.Signature(d)
+	}
+	for _, workers := range []int{1, 3, 0} {
+		got := m.Signatures(docs, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Signatures(workers=%d) differs from serial loop", workers)
+		}
 	}
 }

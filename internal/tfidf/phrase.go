@@ -1,0 +1,176 @@
+package tfidf
+
+// Hashed phrase identity. The extractor used to key every n-gram
+// occurrence by strings.Join of its tokens — one string allocation per
+// occurrence, O(L·MaxN) per document. Phrases are now keyed by a rolling
+// 64-bit hash over token ids, extended one token at a time so all MaxN
+// n-grams starting at a position cost one multiply-add each and zero
+// allocations. Hashing is NOT trusted for identity: every table in this
+// package chains colliding phrases and disambiguates them by comparing
+// the actual token sequences, so phrase identity is exact, never
+// probabilistic.
+
+// PhraseID identifies one distinct phrase of the corpus exactly. Hash is
+// the mixed rolling hash of the phrase's token-id sequence; Alt is the
+// index in the corpus-wide collision chain for that hash value, which is
+// 0 unless two distinct phrases happen to share all 64 hash bits.
+type PhraseID struct {
+	Hash uint64
+	Alt  uint16
+}
+
+// hashMul is the odd multiplier of the rolling polynomial hash.
+const hashMul = 0x9e3779b97f4a7c15
+
+// extendHash rolls one token id into a polynomial prefix hash. The +1
+// keeps id 0 from being absorbed (so "a" and "a a" differ for id(a)=0).
+func extendHash(h uint64, id int) uint64 {
+	return h*hashMul + uint64(id) + 1
+}
+
+// mix64 is the SplitMix64 finalizer, applied to the rolling hash before
+// it is used as a map key or shard selector.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// hashIDs hashes a whole token-id sequence (the non-rolling reference,
+// used by tests and one-off callers).
+func hashIDs(ids []int) uint64 {
+	var h uint64
+	for _, id := range ids {
+		h = extendHash(h, id)
+	}
+	return mix64(h)
+}
+
+// dfShards is the number of key-range shards the document-frequency
+// table is split into. Workers pre-shard their local counts by the top
+// hash bits, so the merge runs shard-parallel with no shared state and
+// no lock on the counting hot path. The count is fixed (not a function
+// of the worker knob) so the table layout is identical for any Workers.
+const dfShards = 16
+
+// dfShard selects the shard for a mixed hash by its top bits.
+func dfShard(h uint64) int { return int(h >> 60) }
+
+// phraseInfo records one phrase's statistics within one document.
+type phraseInfo struct {
+	tf  int32 // term frequency
+	pos int32 // start of the first occurrence
+	n   int32 // phrase length in tokens
+}
+
+// dfRef is one document-frequency cell: the running count plus a
+// canonical occurrence (doc, pos, n) used to compare token sequences
+// when hashes collide.
+type dfRef struct {
+	df       int32
+	doc, pos int32
+	n        int32
+}
+
+// dfCell is the table entry for one hash value: the first phrase inline
+// plus the (virtually always empty) collision chain.
+type dfCell struct {
+	dfRef
+	more []dfRef
+}
+
+// sameSeq reports whether two occurrences spell the same token sequence.
+func sameSeq(docs [][]int, d1, p1, n1, d2, p2, n2 int32) bool {
+	if n1 != n2 {
+		return false
+	}
+	a := docs[d1][p1 : p1+n1]
+	b := docs[d2][p2 : p2+n2]
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// dfAdd counts one (phrase, document) pair into a shard map, chaining on
+// hash collision. docs backs the token-sequence identity checks.
+func dfAdd(m map[uint64]dfCell, key uint64, docs [][]int, doc, pos, n int32) {
+	c, ok := m[key]
+	if !ok {
+		m[key] = dfCell{dfRef: dfRef{df: 1, doc: doc, pos: pos, n: n}}
+		return
+	}
+	if sameSeq(docs, c.doc, c.pos, c.n, doc, pos, n) {
+		c.df++
+		m[key] = c
+		return
+	}
+	for i := range c.more {
+		r := &c.more[i]
+		if sameSeq(docs, r.doc, r.pos, r.n, doc, pos, n) {
+			r.df++
+			m[key] = c
+			return
+		}
+	}
+	c.more = append(c.more, dfRef{df: 1, doc: doc, pos: pos, n: n})
+	m[key] = c
+}
+
+// dfMergeCell folds one worker-local cell into the global shard map.
+// Chains keep first-seen order across workers, which — with contiguous
+// document ranges merged in worker order — is first-occurrence document
+// order, independent of the worker count.
+func dfMergeCell(m map[uint64]dfCell, key uint64, docs [][]int, src dfCell) {
+	dst, ok := m[key]
+	if !ok {
+		// Copy the chain so later merges never alias the source slice.
+		if len(src.more) > 0 {
+			src.more = append([]dfRef(nil), src.more...)
+		}
+		m[key] = src
+		return
+	}
+	dst = dfMergeRef(dst, docs, src.dfRef)
+	for _, r := range src.more {
+		dst = dfMergeRef(dst, docs, r)
+	}
+	m[key] = dst
+}
+
+// dfMergeRef adds one source cell's count into the matching chain entry
+// of dst, appending a new entry for a previously unseen collision.
+func dfMergeRef(dst dfCell, docs [][]int, src dfRef) dfCell {
+	if sameSeq(docs, dst.doc, dst.pos, dst.n, src.doc, src.pos, src.n) {
+		dst.df += src.df
+		return dst
+	}
+	for i := range dst.more {
+		r := &dst.more[i]
+		if sameSeq(docs, r.doc, r.pos, r.n, src.doc, src.pos, src.n) {
+			r.df += src.df
+			return dst
+		}
+	}
+	dst.more = append(dst.more, src)
+	return dst
+}
+
+// lookup resolves the document frequency and collision-chain index of
+// the phrase spelled at docs[doc][pos:pos+n].
+func (c *dfCell) lookup(docs [][]int, doc, pos, n int32) (df int32, alt uint16) {
+	if sameSeq(docs, c.doc, c.pos, c.n, doc, pos, n) {
+		return c.df, 0
+	}
+	for i := range c.more {
+		r := &c.more[i]
+		if sameSeq(docs, r.doc, r.pos, r.n, doc, pos, n) {
+			return r.df, uint16(i + 1)
+		}
+	}
+	return 0, 0
+}

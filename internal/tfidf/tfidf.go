@@ -3,12 +3,23 @@
 // document's top-scoring phrases. The paper keeps phrases up to 5-grams
 // and the top ~10% of each document's phrases, making the count a function
 // of document size so results are not dominated by document length.
+//
+// The extractor is parallel and allocation-lean: documents are fanned out
+// over a worker pool in contiguous ranges, phrases are keyed by rolling
+// 64-bit hashes over token ids instead of joined strings (see phrase.go),
+// and document frequencies are counted into worker-local key-range shards
+// merged without any global lock. Output is deterministic and identical
+// for any worker count.
 package tfidf
 
 import (
 	"math"
 	"sort"
 	"strings"
+	"time"
+
+	"infoshield/internal/par"
+	"infoshield/internal/tokenize"
 )
 
 // Default parameter values. MaxN and TopFraction come from the paper;
@@ -20,10 +31,10 @@ const (
 	DefaultRelativeFloor = 0.4
 )
 
-// sep joins n-gram tokens into a single map key. US (unit separator)
-// cannot appear in tokens, which never contain control characters after
-// tokenization of ordinary text; even if it did, a collision only merges
-// two phrases, never corrupts state.
+// sep joins n-gram tokens into a single phrase-key string. US (unit
+// separator) cannot appear in tokens, which never contain control
+// characters after tokenization of ordinary text; even if it did, a
+// collision only merges two phrases, never corrupts state.
 const sep = "\x1f"
 
 // Key converts an n-gram token slice into its canonical phrase key.
@@ -54,6 +65,9 @@ type Extractor struct {
 	// near-duplicate cluster (df = cluster size, still sublinear in N)
 	// stays selectable.
 	RelativeFloor float64
+	// Workers bounds the extraction worker pool (<= 0: GOMAXPROCS). Any
+	// value produces identical output.
+	Workers int
 }
 
 func (e *Extractor) maxN() int {
@@ -77,34 +91,167 @@ func (e *Extractor) relativeFloor() float64 {
 	return e.RelativeFloor
 }
 
-// phraseInfo records a phrase's term frequency and first occurrence.
-type phraseInfo struct {
-	tf  int
-	pos int // start of the first occurrence
-	n   int // phrase length in tokens
+// docSet is the distinct-phrase set of one document, keyed by mixed
+// rolling hash. overflow chains within-document hash collisions and is
+// nil in essentially every document ever processed.
+type docSet struct {
+	set      map[uint64]phraseInfo
+	overflow map[uint64][]phraseInfo
+	distinct int32
 }
 
-// phraseSet returns the distinct phrase keys of one tokenized document,
-// with term frequencies and first-occurrence positions.
-func (e *Extractor) phraseSet(tokens []string) map[string]phraseInfo {
-	maxN := e.maxN()
-	set := make(map[string]phraseInfo)
-	for n := 1; n <= maxN; n++ {
-		for i := 0; i+n <= len(tokens); i++ {
-			k := Key(tokens[i : i+n])
-			info, seen := set[k]
-			if !seen {
-				info = phraseInfo{pos: i, n: n}
-			}
-			info.tf++
-			set[k] = info
+// sameLocal reports whether two n-grams of one document spell the same
+// token sequence.
+func sameLocal(ids []int, p1, n1, p2, n2 int32) bool {
+	if n1 != n2 {
+		return false
+	}
+	a := ids[p1 : p1+n1]
+	b := ids[p2 : p2+n2]
+	for i := range a {
+		if a[i] != b[i] {
+			return false
 		}
 	}
-	return set
+	return true
 }
 
-// TopPhrases returns, for each tokenized document, its highest-tf-idf
-// phrase keys. Ties break lexicographically so output is deterministic.
+// phraseSet builds the distinct phrase set of one tokenized document with
+// term frequencies and first-occurrence positions. The inner loop extends
+// a rolling hash one token at a time, so the O(L·MaxN) n-gram occurrences
+// cost no allocations beyond map growth.
+func (e *Extractor) phraseSet(ids []int) docSet {
+	maxN := e.maxN()
+	ds := docSet{set: make(map[uint64]phraseInfo, len(ids)*maxN)}
+	for i := 0; i < len(ids); i++ {
+		var h uint64
+		for n := 1; n <= maxN && i+n <= len(ids); n++ {
+			h = extendHash(h, ids[i+n-1])
+			k := mix64(h)
+			info, ok := ds.set[k]
+			if !ok {
+				ds.set[k] = phraseInfo{tf: 1, pos: int32(i), n: int32(n)}
+				ds.distinct++
+				continue
+			}
+			if sameLocal(ids, info.pos, info.n, int32(i), int32(n)) {
+				info.tf++
+				ds.set[k] = info
+				continue
+			}
+			// Within-document hash collision: chain in the overflow map.
+			chain := ds.overflow[k]
+			matched := false
+			for ci := range chain {
+				if sameLocal(ids, chain[ci].pos, chain[ci].n, int32(i), int32(n)) {
+					chain[ci].tf++
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				if ds.overflow == nil {
+					ds.overflow = make(map[uint64][]phraseInfo)
+				}
+				ds.overflow[k] = append(chain, phraseInfo{tf: 1, pos: int32(i), n: int32(n)})
+				ds.distinct++
+			}
+		}
+	}
+	return ds
+}
+
+// Selection is the output of TopPhraseIDs: each document's selected
+// phrases plus the corpus-wide phrase table and per-stage wall times.
+type Selection struct {
+	// Top[i] holds document i's selected phrases, best first.
+	Top [][]PhraseID
+	// Extract and Score time the two passes (phrase sets + DF counting,
+	// then scoring + selection).
+	Extract, Score time.Duration
+
+	docs   [][]int
+	shards [dfShards]map[uint64]dfCell
+}
+
+// PhraseTokens returns the token-id sequence of a phrase selected by this
+// extraction, or nil for an unknown id.
+func (s *Selection) PhraseTokens(id PhraseID) []int {
+	c, ok := s.shards[dfShard(id.Hash)][id.Hash]
+	if !ok {
+		return nil
+	}
+	r := c.dfRef
+	if id.Alt > 0 {
+		i := int(id.Alt) - 1
+		if i >= len(c.more) {
+			return nil
+		}
+		r = c.more[i]
+	}
+	return s.docs[r.doc][r.pos : r.pos+r.n]
+}
+
+// DF returns the document frequency of a phrase, or 0 for an unknown id.
+func (s *Selection) DF(id PhraseID) int {
+	c, ok := s.shards[dfShard(id.Hash)][id.Hash]
+	if !ok {
+		return 0
+	}
+	if id.Alt == 0 {
+		return int(c.df)
+	}
+	i := int(id.Alt) - 1
+	if i >= len(c.more) {
+		return 0
+	}
+	return int(c.more[i].df)
+}
+
+// scored is one candidate phrase of one document during selection.
+type scored struct {
+	id    PhraseID
+	info  phraseInfo
+	idf   float64
+	score float64
+}
+
+// lexLess orders two phrases of one document by the lexicographic order
+// of their token strings (token-wise, shorter prefix first), using the
+// precomputed per-id ranks. This reproduces the joined-string-key order
+// of the old extractor for every token ordinary tokenization can emit
+// (tokens containing raw control bytes below U+001F could in principle
+// order differently; such bytes never survive tokenization of text).
+func lexLess(ids []int, rank []int32, a, b phraseInfo) bool {
+	la, lb := int(a.n), int(b.n)
+	for i := 0; i < la && i < lb; i++ {
+		ra := rank[ids[int(a.pos)+i]]
+		rb := rank[ids[int(b.pos)+i]]
+		if ra != rb {
+			return ra < rb
+		}
+	}
+	return la < lb
+}
+
+// lexRank returns each token id's rank in the lexicographic order of the
+// vocabulary's words, for allocation-free phrase comparisons.
+func lexRank(v *tokenize.Vocab) []int32 {
+	ids := make([]int, v.Size())
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool { return v.Word(ids[a]) < v.Word(ids[b]) })
+	rank := make([]int32, len(ids))
+	for r, id := range ids {
+		rank[id] = int32(r)
+	}
+	return rank
+}
+
+// TopPhraseIDs returns, for each tokenized document, its highest-tf-idf
+// phrases. Ties break lexicographically so output is deterministic, and
+// the result is identical for any Workers setting.
 //
 // Selection dynamics matter more than any single score here, and two
 // details make the bipartite graph behave the way the paper describes:
@@ -119,90 +266,181 @@ func (e *Extractor) phraseSet(tokens []string) map[string]phraseInfo {
 //     win the budget on every member and become edges.
 //   - zero-score phrases (df = N) are excluded: selecting ubiquitous
 //     phrases as a last resort would connect the whole corpus.
-func (e *Extractor) TopPhrases(docs [][]string) [][]string {
+func (e *Extractor) TopPhraseIDs(docs [][]int, vocab *tokenize.Vocab) *Selection {
 	n := len(docs)
-	// Pass 1: document frequencies.
-	df := make(map[string]int, n*4)
-	sets := make([]map[string]phraseInfo, n)
-	for i, toks := range docs {
-		set := e.phraseSet(toks)
-		sets[i] = set
-		for p := range set {
-			df[p]++
-		}
+	sel := &Selection{Top: make([][]PhraseID, n), docs: docs}
+	if n == 0 {
+		return sel
 	}
-	// Pass 2: score and select.
-	out := make([][]string, n)
-	frac := e.topFraction()
-	type scored struct {
-		phrase string
-		info   phraseInfo
-		idf    float64
-		score  float64
-	}
-	for i, set := range sets {
-		if len(set) == 0 {
-			continue
+	workers := par.Workers(e.Workers)
+
+	// Pass 1: per-document phrase sets and sharded document frequencies.
+	// Each worker owns a contiguous document range and counts into its own
+	// shard maps; no shared state is touched.
+	start := time.Now()
+	sets := make([]docSet, n)
+	locals := make([][]map[uint64]dfCell, workers)
+	par.IndexedRanges(n, workers, func(w, lo, hi int) {
+		shards := make([]map[uint64]dfCell, dfShards)
+		for s := range shards {
+			shards[s] = make(map[uint64]dfCell)
 		}
-		cand := make([]scored, 0, len(set))
-		maxIdf := 0.0
-		for p, info := range set {
-			idf := math.Log(float64(n) / float64(df[p]))
-			score := float64(info.tf) * idf
-			if score <= 0 {
-				continue
+		for i := lo; i < hi; i++ {
+			ds := e.phraseSet(docs[i])
+			sets[i] = ds
+			for k, info := range ds.set {
+				dfAdd(shards[dfShard(k)], k, docs, int32(i), info.pos, info.n)
 			}
-			if idf > maxIdf {
-				maxIdf = idf
-			}
-			cand = append(cand, scored{p, info, idf, score})
-		}
-		if len(cand) == 0 {
-			continue
-		}
-		sort.Slice(cand, func(a, b int) bool {
-			if cand[a].score != cand[b].score {
-				return cand[a].score > cand[b].score
-			}
-			return cand[a].phrase < cand[b].phrase
-		})
-		// The budget is a fraction of the document's total phrase count
-		// (a function of document size, per the paper).
-		k := int(math.Ceil(frac * float64(len(set))))
-		if k < 1 {
-			k = 1
-		}
-		// Positional diversity: a phrase is only selected if every token
-		// of its first occurrence is still uncovered. Without this, the
-		// O(MaxN²) overlapping n-grams around a single rare token exhaust
-		// the budget and the document never exposes the phrases it shares
-		// with its near-duplicates.
-		covered := make([]bool, len(docs[i]))
-		floor := maxIdf * e.relativeFloor()
-		var top []string
-		for _, c := range cand {
-			if len(top) >= k {
-				break
-			}
-			if c.idf < floor {
-				continue
-			}
-			fresh := true
-			for p := c.info.pos; p < c.info.pos+c.info.n; p++ {
-				if covered[p] {
-					fresh = false
-					break
+			for k, chain := range ds.overflow {
+				for _, info := range chain {
+					dfAdd(shards[dfShard(k)], k, docs, int32(i), info.pos, info.n)
 				}
 			}
-			if !fresh {
+		}
+		locals[w] = shards
+	})
+	// Merge per key-range shard, workers in document order so collision
+	// chains are ordered by first occurrence whatever the worker count.
+	par.Each(dfShards, workers, func(s int) {
+		size := 0
+		for _, shards := range locals {
+			if shards != nil {
+				size += len(shards[s])
+			}
+		}
+		g := make(map[uint64]dfCell, size)
+		for _, shards := range locals {
+			if shards == nil {
 				continue
 			}
-			for p := c.info.pos; p < c.info.pos+c.info.n; p++ {
-				covered[p] = true
+			for k, c := range shards[s] {
+				dfMergeCell(g, k, docs, c)
 			}
-			top = append(top, c.phrase)
 		}
-		out[i] = top
+		sel.shards[s] = g
+	})
+	sel.Extract = time.Since(start)
+
+	// Pass 2: score and select, embarrassingly parallel per document.
+	start = time.Now()
+	rank := lexRank(vocab)
+	frac := e.topFraction()
+	floorFrac := e.relativeFloor()
+	par.Ranges(n, workers, func(lo, hi int) {
+		var cand []scored
+		var covered []bool
+		for i := lo; i < hi; i++ {
+			ds := &sets[i]
+			if ds.distinct == 0 {
+				continue
+			}
+			cand = cand[:0]
+			maxIdf := 0.0
+			add := func(k uint64, info phraseInfo) {
+				cell := sel.shards[dfShard(k)][k]
+				df, alt := cell.lookup(docs, int32(i), info.pos, info.n)
+				idf := math.Log(float64(n) / float64(df))
+				score := float64(info.tf) * idf
+				if score <= 0 {
+					return
+				}
+				if idf > maxIdf {
+					maxIdf = idf
+				}
+				cand = append(cand, scored{PhraseID{k, alt}, info, idf, score})
+			}
+			for k, info := range ds.set {
+				add(k, info)
+			}
+			for k, chain := range ds.overflow {
+				for _, info := range chain {
+					add(k, info)
+				}
+			}
+			if len(cand) == 0 {
+				continue
+			}
+			sort.Slice(cand, func(a, b int) bool {
+				if cand[a].score != cand[b].score {
+					return cand[a].score > cand[b].score
+				}
+				return lexLess(docs[i], rank, cand[a].info, cand[b].info)
+			})
+			// The budget is a fraction of the document's total phrase count
+			// (a function of document size, per the paper).
+			k := int(math.Ceil(frac * float64(ds.distinct)))
+			if k < 1 {
+				k = 1
+			}
+			// Positional diversity: a phrase is only selected if every token
+			// of its first occurrence is still uncovered. Without this, the
+			// O(MaxN²) overlapping n-grams around a single rare token exhaust
+			// the budget and the document never exposes the phrases it shares
+			// with its near-duplicates.
+			if cap(covered) >= len(docs[i]) {
+				covered = covered[:len(docs[i])]
+				clear(covered)
+			} else {
+				covered = make([]bool, len(docs[i]))
+			}
+			floor := maxIdf * floorFrac
+			var top []PhraseID
+			for _, c := range cand {
+				if len(top) >= k {
+					break
+				}
+				if c.idf < floor {
+					continue
+				}
+				fresh := true
+				for p := c.info.pos; p < c.info.pos+c.info.n; p++ {
+					if covered[p] {
+						fresh = false
+						break
+					}
+				}
+				if !fresh {
+					continue
+				}
+				for p := c.info.pos; p < c.info.pos+c.info.n; p++ {
+					covered[p] = true
+				}
+				top = append(top, c.id)
+			}
+			sel.Top[i] = top
+		}
+	})
+	sel.Score = time.Since(start)
+	return sel
+}
+
+// TopPhrases is the string-keyed compatibility form of TopPhraseIDs: it
+// interns the documents through a private vocabulary, runs the hashed
+// extraction, and materializes each selected phrase's string key exactly
+// once per distinct phrase (never per occurrence).
+func (e *Extractor) TopPhrases(docs [][]string) [][]string {
+	vocab := tokenize.NewVocab()
+	ids := make([][]int, len(docs))
+	for i, d := range docs {
+		ids[i] = vocab.Encode(d)
+	}
+	sel := e.TopPhraseIDs(ids, vocab)
+	interned := make(map[PhraseID]string)
+	out := make([][]string, len(docs))
+	for i, ps := range sel.Top {
+		if len(ps) == 0 {
+			continue
+		}
+		row := make([]string, len(ps))
+		for j, p := range ps {
+			s, ok := interned[p]
+			if !ok {
+				s = Key(vocab.Decode(sel.PhraseTokens(p)))
+				interned[p] = s
+			}
+			row[j] = s
+		}
+		out[i] = row
 	}
 	return out
 }

@@ -4,9 +4,12 @@ import (
 	"math"
 	"math/rand"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"infoshield/internal/tokenize"
 )
 
 func tok(s string) []string { return strings.Fields(s) }
@@ -18,30 +21,94 @@ func TestKeyRoundTrip(t *testing.T) {
 	}
 }
 
+// hashOf returns the phrase hash of a word sequence under v's ids.
+func hashOf(v *tokenize.Vocab, words ...string) uint64 {
+	ids := make([]int, len(words))
+	for i, w := range words {
+		id, ok := v.ID(w)
+		if !ok {
+			panic("unknown word " + w)
+		}
+		ids[i] = id
+	}
+	return hashIDs(ids)
+}
+
 func TestPhraseSetCounts(t *testing.T) {
 	e := &Extractor{MaxN: 2}
-	set := e.phraseSet(tok("a b a b"))
+	v := tokenize.NewVocab()
+	ids := v.Encode(tok("a b a b"))
+	ds := e.phraseSet(ids)
 	// unigrams: a(2) b(2); bigrams: "a b"(2) "b a"(1)
-	if got := set[Key([]string{"a"})]; got.tf != 2 || got.pos != 0 || got.n != 1 {
+	if got := ds.set[hashOf(v, "a")]; got.tf != 2 || got.pos != 0 || got.n != 1 {
 		t.Errorf("info(a) = %+v", got)
 	}
-	if got := set[Key([]string{"a", "b"})]; got.tf != 2 || got.pos != 0 || got.n != 2 {
+	if got := ds.set[hashOf(v, "a", "b")]; got.tf != 2 || got.pos != 0 || got.n != 2 {
 		t.Errorf("info(a b) = %+v", got)
 	}
-	if got := set[Key([]string{"b", "a"})]; got.tf != 1 || got.pos != 1 {
+	if got := ds.set[hashOf(v, "b", "a")]; got.tf != 1 || got.pos != 1 {
 		t.Errorf("info(b a) = %+v", got)
 	}
-	if len(set) != 4 {
-		t.Errorf("distinct phrases = %d, want 4", len(set))
+	if ds.distinct != 4 {
+		t.Errorf("distinct phrases = %d, want 4", ds.distinct)
+	}
+	if ds.overflow != nil {
+		t.Errorf("unexpected collision overflow: %v", ds.overflow)
 	}
 }
 
 func TestPhraseSetShortDoc(t *testing.T) {
 	e := &Extractor{MaxN: 5}
-	set := e.phraseSet(tok("only two"))
+	v := tokenize.NewVocab()
+	ds := e.phraseSet(v.Encode(tok("only two")))
 	// 2 unigrams + 1 bigram; no 3..5-grams possible.
-	if len(set) != 3 {
-		t.Errorf("distinct phrases = %d, want 3", len(set))
+	if ds.distinct != 3 {
+		t.Errorf("distinct phrases = %d, want 3", ds.distinct)
+	}
+}
+
+// TestRollingHashMatchesReference pins the rolling computation to the
+// whole-sequence reference on random id windows.
+func TestRollingHashMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ids := make([]int, 40)
+	for i := range ids {
+		ids[i] = rng.Intn(1000)
+	}
+	for i := 0; i < len(ids); i++ {
+		var h uint64
+		for n := 1; n <= 5 && i+n <= len(ids); n++ {
+			h = extendHash(h, ids[i+n-1])
+			if got, want := mix64(h), hashIDs(ids[i:i+n]); got != want {
+				t.Fatalf("rolling hash at (%d,%d) = %x, want %x", i, n, got, want)
+			}
+		}
+	}
+}
+
+// TestDFChainHandlesForcedCollisions drives the collision-chain paths of
+// the DF table directly: genuine 64-bit collisions are too rare to
+// construct, so two different phrases are counted under one fabricated
+// key and must keep exact, separate counts.
+func TestDFChainHandlesForcedCollisions(t *testing.T) {
+	docs := [][]int{{1, 2, 3}, {4, 5, 6}, {1, 2, 9}}
+	const key = uint64(0xdeadbeef)
+	local1 := map[uint64]dfCell{}
+	dfAdd(local1, key, docs, 0, 0, 2) // phrase [1 2] in doc 0
+	dfAdd(local1, key, docs, 1, 0, 2) // phrase [4 5] in doc 1: collides
+	local2 := map[uint64]dfCell{}
+	dfAdd(local2, key, docs, 2, 0, 2) // phrase [1 2] again, other worker
+
+	global := map[uint64]dfCell{}
+	dfMergeCell(global, key, docs, local1[key])
+	dfMergeCell(global, key, docs, local2[key])
+
+	c := global[key]
+	if df, alt := c.lookup(docs, 0, 0, 2); df != 2 || alt != 0 {
+		t.Errorf("phrase [1 2]: df=%d alt=%d, want 2,0", df, alt)
+	}
+	if df, alt := c.lookup(docs, 1, 0, 2); df != 1 || alt != 1 {
+		t.Errorf("phrase [4 5]: df=%d alt=%d, want 1,1", df, alt)
 	}
 }
 
@@ -215,5 +282,196 @@ func TestTopPhrasesOccurInDoc(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// referenceTopPhrases is the extractor this package shipped before the
+// hashed-key rewrite: string map keys built by strings.Join for every
+// n-gram occurrence, a single global DF map, and serial selection. It is
+// the behavioral reference the rewrite must match key-for-key.
+func referenceTopPhrases(e *Extractor, docs [][]string) [][]string {
+	type phraseInfoRef struct{ tf, pos, n int }
+	maxN := e.maxN()
+	phraseSet := func(tokens []string) map[string]phraseInfoRef {
+		set := make(map[string]phraseInfoRef)
+		for n := 1; n <= maxN; n++ {
+			for i := 0; i+n <= len(tokens); i++ {
+				k := Key(tokens[i : i+n])
+				info, seen := set[k]
+				if !seen {
+					info = phraseInfoRef{pos: i, n: n}
+				}
+				info.tf++
+				set[k] = info
+			}
+		}
+		return set
+	}
+	n := len(docs)
+	df := make(map[string]int, n*4)
+	sets := make([]map[string]phraseInfoRef, n)
+	for i, toks := range docs {
+		set := phraseSet(toks)
+		sets[i] = set
+		for p := range set {
+			df[p]++
+		}
+	}
+	out := make([][]string, n)
+	frac := e.topFraction()
+	type scoredRef struct {
+		phrase string
+		info   phraseInfoRef
+		idf    float64
+		score  float64
+	}
+	for i, set := range sets {
+		if len(set) == 0 {
+			continue
+		}
+		cand := make([]scoredRef, 0, len(set))
+		maxIdf := 0.0
+		for p, info := range set {
+			idf := math.Log(float64(n) / float64(df[p]))
+			score := float64(info.tf) * idf
+			if score <= 0 {
+				continue
+			}
+			if idf > maxIdf {
+				maxIdf = idf
+			}
+			cand = append(cand, scoredRef{p, info, idf, score})
+		}
+		if len(cand) == 0 {
+			continue
+		}
+		sort.Slice(cand, func(a, b int) bool {
+			if cand[a].score != cand[b].score {
+				return cand[a].score > cand[b].score
+			}
+			return cand[a].phrase < cand[b].phrase
+		})
+		k := int(math.Ceil(frac * float64(len(set))))
+		if k < 1 {
+			k = 1
+		}
+		covered := make([]bool, len(docs[i]))
+		floor := maxIdf * e.relativeFloor()
+		var top []string
+		for _, c := range cand {
+			if len(top) >= k {
+				break
+			}
+			if c.idf < floor {
+				continue
+			}
+			fresh := true
+			for p := c.info.pos; p < c.info.pos+c.info.n; p++ {
+				if covered[p] {
+					fresh = false
+					break
+				}
+			}
+			if !fresh {
+				continue
+			}
+			for p := c.info.pos; p < c.info.pos+c.info.n; p++ {
+				covered[p] = true
+			}
+			top = append(top, c.phrase)
+		}
+		out[i] = top
+	}
+	return out
+}
+
+// fixtureCorpus builds a deterministic mixed corpus: spam campaigns of
+// near-duplicates (shared constant chunks, slot substitutions), repeated
+// tokens, and a background of noise documents.
+func fixtureCorpus(seed int64, campaigns, perCampaign, noise int) [][]string {
+	rng := rand.New(rand.NewSource(seed))
+	vocabulary := strings.Fields(
+		"alpha bravo charlie delta echo foxtrot golf hotel india juliet " +
+			"kilo lima mike november oscar papa quebec romeo sierra tango")
+	var docs [][]string
+	for c := 0; c < campaigns; c++ {
+		base := make([]string, 12)
+		for i := range base {
+			base[i] = vocabulary[rng.Intn(len(vocabulary))]
+		}
+		for k := 0; k < perCampaign; k++ {
+			dup := append([]string(nil), base...)
+			for s := 0; s < rng.Intn(3); s++ {
+				dup[rng.Intn(len(dup))] = vocabulary[rng.Intn(len(vocabulary))]
+			}
+			docs = append(docs, dup)
+		}
+	}
+	for k := 0; k < noise; k++ {
+		doc := make([]string, rng.Intn(12)+2)
+		for i := range doc {
+			doc[i] = vocabulary[rng.Intn(len(vocabulary))] + string(rune('0'+rng.Intn(10)))
+		}
+		docs = append(docs, doc)
+	}
+	return docs
+}
+
+// TestHashedSelectionMatchesStringReference is the rewrite's equivalence
+// gate: on fixture corpora, the hashed-key parallel extractor must select
+// exactly the phrases the old string-key serial extractor selected, in
+// the same order, for several parameterizations and worker counts.
+func TestHashedSelectionMatchesStringReference(t *testing.T) {
+	corpora := map[string][][]string{
+		"mixed":      fixtureCorpus(42, 3, 5, 30),
+		"dupHeavy":   fixtureCorpus(7, 6, 8, 4),
+		"noiseOnly":  fixtureCorpus(13, 0, 0, 25),
+		"tinyAndDup": {tok("a b a b a"), tok("a b a b a"), nil, tok("z")},
+	}
+	extractors := []Extractor{
+		{},
+		{MaxN: 2, TopFraction: 0.3},
+		{MaxN: 5, TopFraction: 0.05, RelativeFloor: 0.8},
+	}
+	for name, docs := range corpora {
+		for _, base := range extractors {
+			want := referenceTopPhrases(&base, docs)
+			for _, workers := range []int{1, 3, 8} {
+				e := base
+				e.Workers = workers
+				if got := e.TopPhrases(docs); !reflect.DeepEqual(got, want) {
+					t.Errorf("%s (maxN=%d frac=%v workers=%d): selection diverged from string reference\n got %v\nwant %v",
+						name, base.MaxN, base.TopFraction, workers, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTopPhraseIDsWorkerInvariance: identical PhraseID output for any
+// worker count, including df values resolved through the table.
+func TestTopPhraseIDsWorkerInvariance(t *testing.T) {
+	docs := fixtureCorpus(99, 4, 6, 40)
+	vocab := tokenize.NewVocab()
+	ids := make([][]int, len(docs))
+	for i, d := range docs {
+		ids[i] = vocab.Encode(d)
+	}
+	ref := (&Extractor{Workers: 1}).TopPhraseIDs(ids, vocab)
+	for _, workers := range []int{2, 5, 16} {
+		got := (&Extractor{Workers: workers}).TopPhraseIDs(ids, vocab)
+		if !reflect.DeepEqual(got.Top, ref.Top) {
+			t.Fatalf("workers=%d: selection differs from workers=1", workers)
+		}
+		for i := range ref.Top {
+			for _, p := range ref.Top[i] {
+				if got.DF(p) != ref.DF(p) {
+					t.Fatalf("workers=%d: df(%v) = %d, want %d", workers, p, got.DF(p), ref.DF(p))
+				}
+				if !reflect.DeepEqual(got.PhraseTokens(p), ref.PhraseTokens(p)) {
+					t.Fatalf("workers=%d: tokens(%v) differ", workers, p)
+				}
+			}
+		}
 	}
 }

@@ -16,6 +16,8 @@ package tokenize
 import (
 	"strings"
 	"unicode"
+
+	"infoshield/internal/par"
 )
 
 // Tokenizer converts raw document text into token slices. The zero value is
@@ -53,6 +55,20 @@ func (t Tokenizer) Tokens(text string) []string {
 		field = append(field, r)
 	}
 	flush()
+	return out
+}
+
+// All tokenizes every text concurrently across workers goroutines
+// (<= 0: GOMAXPROCS) and returns the per-document token slices. The
+// tokenizer is stateless, so the result is identical to calling Tokens
+// serially on each text.
+func (t Tokenizer) All(texts []string, workers int) [][]string {
+	out := make([][]string, len(texts))
+	par.Ranges(len(texts), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = t.Tokens(texts[i])
+		}
+	})
 	return out
 }
 

@@ -172,3 +172,28 @@ func TestVocabDenseIDs(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAllMatchesSerialTokens(t *testing.T) {
+	texts := []string{
+		"Honestly we watched the Golden sunset near the misty harbor",
+		"call 123-456.7890 or visit example.test 今日は映画",
+		"", "   ", "one",
+	}
+	for i := 0; i < 40; i++ {
+		texts = append(texts, strings.Repeat("word", i%7)+" filler text number "+strings.Repeat("x", i))
+	}
+	var tk Tokenizer
+	want := make([][]string, len(texts))
+	for i, s := range texts {
+		want[i] = tk.Tokens(s)
+	}
+	for _, workers := range []int{1, 2, 8, 0} {
+		got := tk.All(texts, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("All(workers=%d) differs from serial Tokens", workers)
+		}
+	}
+	if got := tk.All(nil, 4); len(got) != 0 {
+		t.Errorf("All(nil) = %v", got)
+	}
+}

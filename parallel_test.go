@@ -1,0 +1,79 @@
+package infoshield
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"infoshield/internal/datagen"
+)
+
+// TestDetectWorkersEquivalence is the parallelism correctness gate: on a
+// realistic mixed corpus (the Twitter datagen set: genuine accounts plus
+// bot campaigns), Detect must produce byte-identical output — clusters,
+// templates, slots, costs, and the rendered report — for Workers: 1 and
+// Workers: 8. Parallel tokenization, sharded DF counting, parallel
+// scoring, and concurrent refinement may change scheduling, never
+// results.
+func TestDetectWorkersEquivalence(t *testing.T) {
+	c := datagen.Twitter(datagen.TwitterConfig{Seed: 1, GenuineAccounts: 25, BotAccounts: 25})
+	texts := c.Texts()
+
+	ref := Detect(texts, Config{Workers: 1})
+	var refText bytes.Buffer
+	ref.WriteText(&refText)
+
+	got := Detect(texts, Config{Workers: 8})
+
+	// Public surface: clusters with templates, slot counts, doc sets, and
+	// the cost-derived compression diagnostics.
+	if !reflect.DeepEqual(got.Clusters(), ref.Clusters()) {
+		t.Error("Clusters() differ between Workers:1 and Workers:8")
+	}
+	if !reflect.DeepEqual(got.DocTemplate(), ref.DocTemplate()) {
+		t.Error("DocTemplate() differs between Workers:1 and Workers:8")
+	}
+	if got.NumTemplates() != ref.NumTemplates() || got.VocabSize() != ref.VocabSize() {
+		t.Errorf("counts differ: %d/%d templates, %d/%d vocab",
+			got.NumTemplates(), ref.NumTemplates(), got.VocabSize(), ref.VocabSize())
+	}
+
+	// Internal surface: raw MDL costs must be bit-identical, not merely
+	// close — parallel Coarse feeds Fine the exact same candidates.
+	if len(got.res.Clusters) != len(ref.res.Clusters) {
+		t.Fatalf("core cluster counts differ: %d vs %d", len(got.res.Clusters), len(ref.res.Clusters))
+	}
+	for i := range ref.res.Clusters {
+		g, r := &got.res.Clusters[i], &ref.res.Clusters[i]
+		if g.CostBefore != r.CostBefore || g.CostAfter != r.CostAfter {
+			t.Errorf("cluster %d costs differ: (%v,%v) vs (%v,%v)",
+				i, g.CostBefore, g.CostAfter, r.CostBefore, r.CostAfter)
+		}
+		if !reflect.DeepEqual(g.Docs, r.Docs) {
+			t.Errorf("cluster %d doc sets differ", i)
+		}
+	}
+
+	// Rendered report: byte-identical.
+	var gotText bytes.Buffer
+	got.WriteText(&gotText)
+	if !bytes.Equal(gotText.Bytes(), refText.Bytes()) {
+		t.Error("WriteText output differs between Workers:1 and Workers:8")
+	}
+}
+
+// TestTimingsPopulated checks the new stage timings are wired through.
+func TestTimingsPopulated(t *testing.T) {
+	c := datagen.Twitter(datagen.TwitterConfig{Seed: 2, GenuineAccounts: 5, BotAccounts: 5})
+	res := Detect(c.Texts(), Config{})
+	tm := res.Timings()
+	if tm.Coarse <= 0 {
+		t.Errorf("Coarse duration not recorded: %+v", tm)
+	}
+	if tm.Tokenize <= 0 || tm.CoarseExtract <= 0 || tm.CoarseScore <= 0 {
+		t.Errorf("stage timings not recorded: %+v", tm)
+	}
+	if tm.Tokenize+tm.CoarseExtract+tm.CoarseScore+tm.CoarseComponents > tm.Coarse {
+		t.Errorf("stages exceed coarse total: %+v", tm)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"infoshield/internal/core"
 	"infoshield/internal/viz"
@@ -96,6 +97,35 @@ func (r *Result) NumTemplates() int { return r.res.NumTemplates() }
 
 // VocabSize returns V, the number of distinct tokens in the corpus.
 func (r *Result) VocabSize() int { return r.res.Vocab.Size() }
+
+// Timings reports the wall-clock durations of a Detect run's pipeline
+// stages. Coarse is the whole front half (and includes the four
+// sub-stage durations); Fine is the MDL refinement of the candidate
+// clusters. Under Config.UseLSHCoarse the tf-idf sub-stages are zero and
+// CoarseComponents covers signatures plus banding.
+type Timings struct {
+	// Tokenize covers word-splitting and vocabulary encoding.
+	Tokenize time.Duration
+	// CoarseExtract covers phrase-set hashing and document-frequency
+	// counting; CoarseScore the tf-idf scoring and top-phrase selection;
+	// CoarseComponents the phrase graph and connected components.
+	CoarseExtract, CoarseScore, CoarseComponents time.Duration
+	// Coarse and Fine are the two pipeline halves' totals.
+	Coarse, Fine time.Duration
+}
+
+// Timings returns the stage durations of the run that produced r.
+func (r *Result) Timings() Timings {
+	s := r.res.CoarseStages
+	return Timings{
+		Tokenize:         s.Tokenize,
+		CoarseExtract:    s.Extract,
+		CoarseScore:      s.Score,
+		CoarseComponents: s.Components,
+		Coarse:           r.res.CoarseDuration,
+		Fine:             r.res.FineDuration,
+	}
+}
 
 // WriteText renders every cluster with ANSI colors (constants plain,
 // slots red, insertions green, deletions struck, substitutions yellow).
