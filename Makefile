@@ -1,21 +1,34 @@
 GO ?= go
 
-.PHONY: check test build vet bench bench-coarse bench-all experiments
+.PHONY: check test build vet race fuzz bench bench-coarse bench-all experiments
 
-## check: the full gate — vet, build, and race-enabled tests.
-check:
-	$(GO) vet ./...
+## check: the full gate — vet (go vet + infoshield-vet), build, and
+## race-enabled tests.
+check: vet
 	$(GO) build ./...
 	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...
 
+## vet: go vet plus the project's own static-analysis suite
+## (cmd/infoshield-vet: maporder, looprace, floateq, ctxerr). Must exit 0
+## with zero unsuppressed findings.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/infoshield-vet
 
 test:
 	$(GO) test ./...
+
+## race: the race detector over every package. The -short leg of the
+## worker-equivalence gate keeps this tractable in CI.
+race:
+	$(GO) test -race ./...
+
+## fuzz: a bounded burst of the Workers:1-vs-Workers:4 determinism fuzzer.
+fuzz:
+	$(GO) test -fuzz FuzzDetectDeterminism -fuzztime 30s .
 
 ## bench: the end-to-end pipeline benchmark at both corpus sizes,
 ## repeated for stable numbers.

@@ -51,7 +51,7 @@ func main() {
 				if werr := experiments.Fig3SVG(f, s); werr == nil {
 					fmt.Fprintln(w, "wrote fig3.svg")
 				}
-				f.Close()
+				_ = f.Close() // best-effort figure dump alongside the report
 			}
 		}},
 		{"fig4", experiments.Fig4Ngram},

@@ -1,0 +1,132 @@
+// Command infoshield-vet runs the project's custom static-analysis suite
+// (internal/analysis) over every package of the module: determinism
+// (maporder), concurrency discipline (looprace), MDL-cost comparison
+// hygiene (floateq), and dropped results (ctxerr). It is stdlib-only —
+// the loader type-checks the module with go/parser and go/types, with no
+// golang.org/x/tools dependency.
+//
+// Usage:
+//
+//	infoshield-vet [flags] [dir]
+//
+//	-run  maporder,floateq   run only the named analyzers (default all)
+//	-json                    machine-readable output
+//	-baseline file           tolerate findings recorded in the baseline
+//	-write-baseline file     record current findings and exit 0
+//	-list                    print the analyzers and exit
+//	-v                       also print suppressed/baselined findings
+//
+// Exit status: 0 when no unsuppressed, non-baselined finding exists;
+// 1 when findings remain; 2 on usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"infoshield/internal/analysis"
+)
+
+type jsonReport struct {
+	Module     string                `json:"module"`
+	Findings   []analysis.Diagnostic `json:"findings"`
+	Baselined  []analysis.Diagnostic `json:"baselined,omitempty"`
+	Suppressed []analysis.Diagnostic `json:"suppressed,omitempty"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	runFlag := flag.String("run", "all", "comma-separated analyzers to run")
+	jsonFlag := flag.Bool("json", false, "emit findings as JSON")
+	baselineFlag := flag.String("baseline", "", "baseline file of accepted findings")
+	writeBaseline := flag.String("write-baseline", "", "write current findings to this baseline file and exit")
+	listFlag := flag.Bool("list", false, "list analyzers and exit")
+	verbose := flag.Bool("v", false, "also print suppressed and baselined findings")
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	azs, err := analysis.ByName(*runFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "infoshield-vet:", err)
+		return 2
+	}
+	dir := "."
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: infoshield-vet [flags] [dir]")
+		return 2
+	}
+	if flag.NArg() == 1 {
+		dir = flag.Arg(0)
+	}
+
+	mod, err := analysis.LoadModule(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "infoshield-vet:", err)
+		return 2
+	}
+	findings, suppressed := analysis.Run(mod, azs)
+
+	if *writeBaseline != "" {
+		if err := analysis.WriteBaseline(*writeBaseline, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "infoshield-vet:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "infoshield-vet: wrote %d finding(s) to %s\n", len(findings), *writeBaseline)
+		return 0
+	}
+
+	var baselined []analysis.Diagnostic
+	if *baselineFlag != "" {
+		b, err := analysis.ReadBaseline(*baselineFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "infoshield-vet:", err)
+			return 2
+		}
+		findings, baselined = b.Filter(findings)
+	}
+
+	if *jsonFlag {
+		if findings == nil {
+			findings = []analysis.Diagnostic{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		report := jsonReport{Module: mod.Path, Findings: findings, Baselined: baselined}
+		if *verbose {
+			report.Suppressed = suppressed
+		}
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "infoshield-vet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range findings {
+			fmt.Println(d)
+		}
+		if *verbose {
+			for _, d := range baselined {
+				fmt.Printf("%s (baselined)\n", d)
+			}
+			for _, d := range suppressed {
+				fmt.Printf("%s (suppressed)\n", d)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "infoshield-vet: %d package(s), %d finding(s), %d baselined, %d suppressed\n",
+			len(mod.Pkgs), len(findings), len(baselined), len(suppressed))
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -93,7 +93,7 @@ func main() {
 		if err := result.WriteHTML(f); err == nil {
 			err = f.Close()
 		} else {
-			f.Close()
+			_ = f.Close() // the write error is the one worth reporting
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "infoshield:", err)

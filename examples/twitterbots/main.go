@@ -61,6 +61,6 @@ func main() {
 		if werr := result.WriteHTML(f); werr == nil {
 			fmt.Println("\nwrote twitterbots_report.html")
 		}
-		f.Close()
+		_ = f.Close() // report already written; nothing useful to do on close failure
 	}
 }

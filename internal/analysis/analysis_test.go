@@ -1,0 +1,182 @@
+package analysis_test
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+
+	"infoshield/internal/analysis"
+)
+
+var (
+	modOnce sync.Once
+	mod     *analysis.Module
+	modErr  error
+)
+
+// loadRepo type-checks the whole module once and shares it across tests.
+func loadRepo(t *testing.T) *analysis.Module {
+	t.Helper()
+	modOnce.Do(func() { mod, modErr = analysis.LoadModule("../..") })
+	if modErr != nil {
+		t.Fatalf("LoadModule: %v", modErr)
+	}
+	return mod
+}
+
+// expectation is the set of acceptable message substrings for one line.
+// Every finding on the line must match one substring, and every substring
+// must be hit by at least one finding.
+type expectation struct {
+	substrs []string
+	hit     []bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*(want|want-suppressed)((?:\s+"[^"]*")+)`)
+var quotedRe = regexp.MustCompile(`"([^"]*)"`)
+
+// readWants parses the `// want "..."` and `// want-suppressed "..."`
+// markers of one golden file into line-keyed expectations.
+func readWants(t *testing.T, path string) (want, wantSup map[int]*expectation) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	want = make(map[int]*expectation)
+	wantSup = make(map[int]*expectation)
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		m := wantRe.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		e := &expectation{}
+		for _, q := range quotedRe.FindAllStringSubmatch(m[2], -1) {
+			e.substrs = append(e.substrs, q[1])
+			e.hit = append(e.hit, false)
+		}
+		if m[1] == "want" {
+			want[line] = e
+		} else {
+			wantSup[line] = e
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return want, wantSup
+}
+
+// matchDiags checks one diagnostic list against one expectation set.
+func matchDiags(t *testing.T, kind string, diags []analysis.Diagnostic, wants map[int]*expectation) {
+	t.Helper()
+	for _, d := range diags {
+		e := wants[d.Line]
+		if e == nil {
+			t.Errorf("unexpected %s finding: %s", kind, d)
+			continue
+		}
+		matched := false
+		for i, sub := range e.substrs {
+			if regexp.MustCompile(regexp.QuoteMeta(sub)).MatchString(d.Message) {
+				e.hit[i] = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s finding on line %d matches no want %q: %s", kind, d.Line, e.substrs, d)
+		}
+	}
+	for line, e := range wants {
+		for i, sub := range e.substrs {
+			if !e.hit[i] {
+				t.Errorf("line %d: no %s finding containing %q", line, kind, sub)
+			}
+		}
+	}
+}
+
+// TestAnalyzerGolden runs each analyzer alone over its testdata package
+// and compares the kept and suppressed findings against the want
+// markers: seeded violations must be detected, annotated sites must be
+// suppressed, and clean code must stay clean.
+func TestAnalyzerGolden(t *testing.T) {
+	repo := loadRepo(t)
+	for _, az := range analysis.Analyzers() {
+		t.Run(az.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", az.Name)
+			pkg, err := repo.LoadExtra(dir)
+			if err != nil {
+				t.Fatalf("LoadExtra(%s): %v", dir, err)
+			}
+			kept, suppressed := analysis.RunPackage(repo, pkg, []*analysis.Analyzer{az})
+			want, wantSup := readWants(t, filepath.Join(dir, az.Name+".go"))
+			matchDiags(t, "kept", kept, want)
+			matchDiags(t, "suppressed", suppressed, wantSup)
+		})
+	}
+}
+
+// TestRepoSelfCheck asserts the suite runs clean over this repository —
+// the same invariant `make vet` enforces, kept close to the analyzers so
+// a regression fails in the package that caused it.
+func TestRepoSelfCheck(t *testing.T) {
+	repo := loadRepo(t)
+	kept, _ := analysis.Run(repo, analysis.Analyzers())
+	for _, d := range kept {
+		t.Errorf("unsuppressed finding on clean repo: %s", d)
+	}
+}
+
+func TestByName(t *testing.T) {
+	all, err := analysis.ByName("all")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("ByName(all) = %d analyzers, err %v; want 4, nil", len(all), err)
+	}
+	two, err := analysis.ByName("maporder, floateq")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("ByName(maporder, floateq) = %d analyzers, err %v; want 2, nil", len(two), err)
+	}
+	if two[0].Name != "maporder" || two[1].Name != "floateq" {
+		t.Errorf("ByName preserved order wrong: %s, %s", two[0].Name, two[1].Name)
+	}
+	if _, err := analysis.ByName("bogus"); err == nil {
+		t.Error("ByName(bogus) succeeded; want error")
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []analysis.Diagnostic{
+		{Analyzer: "maporder", File: "a.go", Line: 3, Col: 2, Message: "m1"},
+		{Analyzer: "maporder", File: "a.go", Line: 9, Col: 2, Message: "m1"}, // same key, aggregated
+		{Analyzer: "ctxerr", File: "b.go", Line: 1, Col: 1, Message: "m2"},
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := analysis.WriteBaseline(path, diags); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	b, err := analysis.ReadBaseline(path)
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+	extra := analysis.Diagnostic{Analyzer: "floateq", File: "c.go", Line: 7, Col: 4, Message: "m3"}
+	fresh, baselined := b.Filter(append(diags, extra))
+	if len(baselined) != 3 {
+		t.Errorf("baselined %d findings, want 3", len(baselined))
+	}
+	if len(fresh) != 1 || fresh[0] != extra {
+		t.Errorf("fresh = %v, want only the new finding", fresh)
+	}
+	// Line drift must not invalidate the baseline.
+	moved := diags[2]
+	moved.Line = 99
+	fresh, _ = b.Filter([]analysis.Diagnostic{moved})
+	if len(fresh) != 0 {
+		t.Errorf("line drift invalidated baseline: %v", fresh)
+	}
+}

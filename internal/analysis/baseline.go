@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BaselineEntry is one accepted pre-existing finding. Entries are keyed
+// by analyzer, file, and message — not line numbers — so unrelated edits
+// do not invalidate a baseline.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	// Count is how many identical findings the entry absorbs (several
+	// identical messages can occur in one file).
+	Count int `json:"count"`
+}
+
+// Baseline is a burn-down list: findings recorded here are reported as
+// baselined, not as failures, so a new analyzer can land green and its
+// pre-existing findings can be fixed incrementally.
+type Baseline struct {
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// ReadBaseline loads a baseline file.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline saves the diagnostics as a baseline file, aggregated and
+// deterministically ordered.
+func WriteBaseline(path string, diags []Diagnostic) error {
+	counts := make(map[string]*BaselineEntry)
+	var order []string
+	for _, d := range diags {
+		k := d.key()
+		if e, ok := counts[k]; ok {
+			e.Count++
+			continue
+		}
+		counts[k] = &BaselineEntry{Analyzer: d.Analyzer, File: d.File, Message: d.Message, Count: 1}
+		order = append(order, k)
+	}
+	sort.Strings(order)
+	b := Baseline{}
+	for _, k := range order {
+		b.Findings = append(b.Findings, *counts[k])
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter splits diagnostics into new findings and baselined ones.
+func (b *Baseline) Filter(diags []Diagnostic) (fresh, baselined []Diagnostic) {
+	budget := make(map[string]int)
+	for _, e := range b.Findings {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		budget[e.Analyzer+"|"+e.File+"|"+e.Message] += n
+	}
+	for _, d := range diags {
+		k := d.key()
+		if budget[k] > 0 {
+			budget[k]--
+			baselined = append(baselined, d)
+		} else {
+			fresh = append(fresh, d)
+		}
+	}
+	return fresh, baselined
+}

@@ -1,0 +1,331 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module.
+type Package struct {
+	// ImportPath is the package's import path within the module.
+	ImportPath string
+	// Dir is the absolute directory holding the package's sources.
+	Dir string
+	// Filenames are the absolute paths of the parsed files, parallel to
+	// Files.
+	Filenames []string
+	// Files are the parsed sources (with comments, for suppression
+	// directives).
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's expression and identifier facts.
+	Info *types.Info
+}
+
+// Module is a fully loaded module: every non-test package, parsed and
+// type-checked in dependency order, with no dependency beyond the
+// standard library's go/* packages.
+type Module struct {
+	// Root is the absolute directory holding go.mod.
+	Root string
+	// Path is the module path declared in go.mod.
+	Path string
+	// Fset positions every parsed file.
+	Fset *token.FileSet
+	// Pkgs are the module's packages, sorted by import path.
+	Pkgs []*Package
+
+	byPath map[string]*types.Package
+	std    types.Importer
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}
+
+// parsedPkg is a package between parsing and type-checking.
+type parsedPkg struct {
+	importPath string
+	dir        string
+	filenames  []string
+	files      []*ast.File
+	deps       []string // module-internal import paths
+}
+
+// LoadModule parses and type-checks every non-test package of the module
+// containing dir. Directories named testdata or vendor, and directories
+// whose name starts with "." or "_", are skipped, matching the go tool.
+func LoadModule(dir string) (*Module, error) {
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	mod := &Module{
+		Root:   root,
+		Path:   modPath,
+		Fset:   fset,
+		byPath: make(map[string]*types.Package),
+		std:    importer.ForCompiler(fset, "gc", nil),
+	}
+
+	var parsed []*parsedPkg
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		p, err := mod.parseDir(path)
+		if err != nil {
+			return err
+		}
+		if p != nil {
+			parsed = append(parsed, p)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ordered, err := topoSort(parsed)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range ordered {
+		pkg, err := mod.check(p)
+		if err != nil {
+			return nil, err
+		}
+		mod.Pkgs = append(mod.Pkgs, pkg)
+		mod.byPath[pkg.ImportPath] = pkg.Types
+	}
+	sort.Slice(mod.Pkgs, func(i, j int) bool {
+		return mod.Pkgs[i].ImportPath < mod.Pkgs[j].ImportPath
+	})
+	return mod, nil
+}
+
+// parseDir parses one directory's non-test Go files, returning nil when
+// the directory holds no buildable Go sources.
+func (m *Module) parseDir(dir string) (*parsedPkg, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := m.Path
+	if rel != "." {
+		importPath = m.Path + "/" + filepath.ToSlash(rel)
+	}
+	p := &parsedPkg{importPath: importPath, dir: dir}
+	seen := make(map[string]bool)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		file, err := parser.ParseFile(m.Fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		p.filenames = append(p.filenames, full)
+		p.files = append(p.files, file)
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if (path == m.Path || strings.HasPrefix(path, m.Path+"/")) && !seen[path] {
+				seen[path] = true
+				p.deps = append(p.deps, path)
+			}
+		}
+	}
+	if len(p.files) == 0 {
+		return nil, nil
+	}
+	return p, nil
+}
+
+// topoSort orders packages so every module-internal dependency precedes
+// its importers.
+func topoSort(pkgs []*parsedPkg) ([]*parsedPkg, error) {
+	byPath := make(map[string]*parsedPkg, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.importPath] = p
+	}
+	// Deterministic starting order.
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].importPath < pkgs[j].importPath })
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := make(map[string]int, len(pkgs))
+	var out []*parsedPkg
+	var visit func(p *parsedPkg) error
+	visit = func(p *parsedPkg) error {
+		switch state[p.importPath] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("import cycle through %s", p.importPath)
+		}
+		state[p.importPath] = visiting
+		for _, dep := range p.deps {
+			d, ok := byPath[dep]
+			if !ok {
+				return fmt.Errorf("%s imports %s, which is not in the module", p.importPath, dep)
+			}
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[p.importPath] = done
+		out = append(out, p)
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// newInfo returns a types.Info recording every fact the analyzers query.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// check type-checks one parsed package against the already-checked module
+// packages and the compiled standard library.
+func (m *Module) check(p *parsedPkg) (*Package, error) {
+	info := newInfo()
+	var errs []error
+	conf := types.Config{
+		Importer: m,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, err := conf.Check(p.importPath, m.Fset, p.files, info)
+	if len(errs) == 0 && err != nil {
+		errs = append(errs, err)
+	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %v", p.importPath, errs[0])
+	}
+	return &Package{
+		ImportPath: p.importPath,
+		Dir:        p.dir,
+		Filenames:  p.filenames,
+		Files:      p.files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// Import implements types.Importer: module-internal packages resolve to
+// the already-checked set, everything else to the standard library.
+func (m *Module) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.byPath[path]; ok {
+		return pkg, nil
+	}
+	return m.std.Import(path)
+}
+
+// LoadExtra parses and type-checks one extra directory (e.g. an
+// analyzer's testdata package) against the loaded module. The package is
+// returned without being registered in the module.
+func (m *Module) LoadExtra(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	p := &parsedPkg{importPath: "vettest/" + filepath.Base(abs), dir: abs}
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		full := filepath.Join(abs, name)
+		file, err := parser.ParseFile(m.Fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		p.filenames = append(p.filenames, full)
+		p.files = append(p.files, file)
+	}
+	if len(p.files) == 0 {
+		return nil, fmt.Errorf("%s: no Go files", dir)
+	}
+	return m.check(p)
+}

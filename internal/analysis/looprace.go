@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LoopRace encodes the concurrency discipline internal/par established:
+// work is partitioned into contiguous index ranges, every worker writes
+// only result[i] for i in its own range, and loop variables cross a
+// goroutine boundary as parameters, never as captures. The analyzer
+// inspects every asynchronously-invoked closure — the function literal
+// of a `go` statement and every function literal passed to an
+// internal/par pool call — and flags:
+//
+//   - writes to variables declared outside the closure that are not
+//     element writes (x = v, x += v, x++ on a shared x);
+//   - shared slice/map element writes whose index is not derived from
+//     closure-local state (s[j] = v where j is not a parameter or local
+//     of the closure — the index-partition pattern is what makes
+//     concurrent element writes disjoint);
+//   - loop variables captured by a `go` closure launched from inside
+//     the loop instead of being passed as parameters (safe under Go
+//     1.22 per-iteration semantics, but the repo's discipline keeps
+//     worker inputs explicit).
+//
+// Closures that take a lock (any method call named Lock) are assumed to
+// guard their shared writes and are skipped.
+var LoopRace = &Analyzer{
+	Name: "looprace",
+	Doc: "flags goroutine/par-pool closures that write shared state " +
+		"without the contiguous index-partition discipline, or capture " +
+		"loop variables instead of taking them as parameters",
+	Run: runLoopRace,
+}
+
+func runLoopRace(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		var walk func(n ast.Node, loopVars []types.Object)
+		walk = func(n ast.Node, loopVars []types.Object) {
+			switch x := n.(type) {
+			case nil:
+				return
+			case *ast.ForStmt:
+				inner := append(loopVars, defsOf(pass, x.Init)...)
+				walkChildren(x, func(c ast.Node) { walk(c, inner) })
+				return
+			case *ast.RangeStmt:
+				var inner []types.Object
+				inner = append(inner, loopVars...)
+				for _, e := range []ast.Expr{x.Key, x.Value} {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+							inner = append(inner, obj)
+						}
+					}
+				}
+				walkChildren(x, func(c ast.Node) { walk(c, inner) })
+				return
+			case *ast.GoStmt:
+				if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+					checkAsyncClosure(pass, lit, loopVars, "go")
+				}
+			case *ast.CallExpr:
+				if isParPoolCall(pass, x) {
+					for _, arg := range x.Args {
+						if lit, ok := arg.(*ast.FuncLit); ok {
+							checkAsyncClosure(pass, lit, nil, "par worker")
+						}
+					}
+				}
+			case *ast.FuncLit:
+				// A nested function body starts a fresh loop-variable
+				// scope: its loops are handled on their own.
+				walkChildren(x, func(c ast.Node) { walk(c, nil) })
+				return
+			}
+			walkChildren(n, func(c ast.Node) { walk(c, loopVars) })
+		}
+		walk(file, nil)
+	}
+}
+
+// walkChildren visits n's immediate children.
+func walkChildren(n ast.Node, visit func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			visit(c)
+		}
+		return false
+	})
+}
+
+// defsOf collects the objects defined by a loop init statement
+// (for i := 0; ...).
+func defsOf(pass *Pass, s ast.Stmt) []types.Object {
+	as, ok := s.(*ast.AssignStmt)
+	if !ok {
+		return nil
+	}
+	var out []types.Object
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// isParPoolCall reports whether a call targets the internal/par package
+// (Ranges, IndexedRanges, Each, Do) — its function arguments run on
+// worker goroutines.
+func isParPoolCall(pass *Pass, call *ast.CallExpr) bool {
+	fun, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := unparen(fun.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	path := pkgNamePath(pass, id)
+	return path == "internal/par" || strings.HasSuffix(path, "/internal/par")
+}
+
+// checkAsyncClosure inspects one asynchronously-invoked function literal.
+// loopVars are the iteration variables of the loops enclosing the launch
+// site (nil when the launch is not inside a loop or the closure runs on
+// a pool, where every instance shares the same literal).
+func checkAsyncClosure(pass *Pass, lit *ast.FuncLit, loopVars []types.Object, kind string) {
+	litSpan := []span{nodeSpan(lit)}
+	if takesLock(lit) {
+		return
+	}
+	multiInstance := kind != "go" || len(loopVars) > 0
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			for _, lv := range loopVars {
+				if objectOf(pass, x) == lv {
+					pass.Reportf(x.Pos(), "loop variable %q captured by %s closure; pass it as a parameter (index-partition discipline)",
+						x.Name, kind)
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				checkSharedWrite(pass, unparen(lhs), litSpan, multiInstance, kind)
+			}
+		case *ast.IncDecStmt:
+			checkSharedWrite(pass, unparen(x.X), litSpan, multiInstance, kind)
+		}
+		return true
+	})
+}
+
+// checkSharedWrite flags writes through the closure boundary that do not
+// follow the index-partition pattern.
+func checkSharedWrite(pass *Pass, lhs ast.Expr, litSpan []span, multiInstance bool, kind string) {
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	root := rootExpr(lhs)
+	if root == nil {
+		return
+	}
+	obj := objectOf(pass, root)
+	if obj == nil || declaredWithin(obj, litSpan) {
+		return
+	}
+	// Element write: shared container, disjoint cells. Safe exactly when
+	// the index is closure-local (each worker owns its index range) —
+	// map element writes are never safe concurrently.
+	if idx, ok := lhs.(*ast.IndexExpr); ok {
+		if isMapType(typeOf(pass, idx.X)) {
+			pass.Reportf(lhs.Pos(), "concurrent write to shared map %q in %s closure; maps are not safe for concurrent writes",
+				root.Name, kind)
+			return
+		}
+		if indexIsLocal(pass, idx.Index, litSpan, multiInstance) {
+			return
+		}
+		pass.Reportf(lhs.Pos(), "shared slice %q written at a non-partitioned index in %s closure; index by a closure parameter or local (contiguous-range discipline)",
+			root.Name, kind)
+		return
+	}
+	pass.Reportf(lhs.Pos(), "write to shared variable %q in %s closure; partition by index, pass a result slot, or synchronize",
+		root.Name, kind)
+}
+
+// indexIsLocal reports whether an index expression is derived from
+// closure-local state. A constant index counts as local only for a
+// single-instance closure: many instances writing s[0] race.
+func indexIsLocal(pass *Pass, index ast.Expr, litSpan []span, multiInstance bool) bool {
+	hasIdent := false
+	local := true
+	ast.Inspect(index, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := objectOf(pass, id)
+		if obj == nil {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true // constants, functions: position-independent
+		}
+		hasIdent = true
+		if !declaredWithin(obj, litSpan) {
+			local = false
+		}
+		return true
+	})
+	if !hasIdent {
+		return !multiInstance
+	}
+	return local
+}
+
+// takesLock reports whether the closure body calls a Lock method — the
+// shared-state writes are then assumed to be guarded.
+func takesLock(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

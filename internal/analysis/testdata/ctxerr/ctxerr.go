@@ -1,0 +1,78 @@
+// Package ctxerr is golden-file input for the ctxerr analyzer. See
+// testdata/maporder for the want-comment convention.
+package ctxerr
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// DroppedError discards an error-returning call used as a statement.
+func DroppedError(name string) {
+	os.Remove(name) // want "error result of os.Remove discarded"
+}
+
+// ExplicitBlank acknowledges the drop visibly: clean.
+func ExplicitBlank(name string) {
+	_ = os.Remove(name)
+}
+
+// BlankedErr keeps the value but blanks the error.
+func BlankedErr(s string) int {
+	n, _ := strconv.Atoi(s) // want "error result of strconv.Atoi blanked"
+	return n
+}
+
+func lookup(m map[string]int, k string) (int, bool) {
+	v, ok := m[k]
+	return v, ok
+}
+
+// BlankedOk blanks a trailing ok bool while keeping the value.
+func BlankedOk(m map[string]int, k string) int {
+	v, _ := lookup(m, k) // want "ok result of lookup blanked"
+	return v
+}
+
+// FprintInVoid renders best-effort from a function that cannot return an
+// error: excluded by policy.
+func FprintInVoid(w io.Writer, x int) {
+	fmt.Fprintf(w, "%d\n", x)
+}
+
+// FprintInErrFunc drops a write error inside a function that promises an
+// error to its caller: the error must be threaded, not dropped.
+func FprintInErrFunc(w io.Writer, x int) error {
+	fmt.Fprintf(w, "%d\n", x) // want "error result of fmt.Fprintf discarded"
+	return nil
+}
+
+// DeferClose uses the read-path defer convention: excluded.
+func DeferClose(f *os.File) error {
+	defer f.Close()
+	_, err := f.Stat()
+	return err
+}
+
+// Builder writes to a strings.Builder, which never fails: clean.
+func Builder(items []string) string {
+	var b strings.Builder
+	for _, it := range items {
+		b.WriteString(it)
+	}
+	return b.String()
+}
+
+// Printed goes to stdout, best effort by convention: clean.
+func Printed(x int) {
+	fmt.Println(x)
+}
+
+// Suppressed justifies a deliberate best-effort call.
+func Suppressed(name string) {
+	//vet:allow ctxerr golden-file input: best-effort cleanup of a scratch file
+	os.Remove(name) // want-suppressed "error result of os.Remove discarded"
+}

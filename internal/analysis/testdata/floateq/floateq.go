@@ -1,0 +1,59 @@
+// Package floateq is golden-file input for the floateq analyzer. See
+// testdata/maporder for the want-comment convention.
+package floateq
+
+import "infoshield/internal/mdl"
+
+// ExactCostEq compares two description lengths with exact ==.
+func ExactCostEq(a, b, v int) bool {
+	ca := mdl.DocCost(a, v)
+	cb := mdl.DocCost(b, v)
+	return ca == cb // want "exact float"
+}
+
+// ApproxCostEq routes the comparison through the epsilon helper: clean.
+func ApproxCostEq(a, b, v int) bool {
+	return mdl.ApproxEq(mdl.DocCost(a, v), mdl.DocCost(b, v))
+}
+
+// PlainFloatEq compares floats with no cost provenance: not flagged.
+func PlainFloatEq(x, y float64) bool {
+	return x == y
+}
+
+// NamedCost is tainted by its own name: anything called *cost* is
+// presumed to hold a description length.
+func NamedCost(costBefore, after float64) bool {
+	return costBefore != after // want "exact float"
+}
+
+// ClosureFlow memoizes costs behind a closure; taint flows through the
+// function literal into every value the closure produces.
+func ClosureFlow(lo, hi, v int) int {
+	eval := func(h int) float64 { return mdl.DocCost(h, v) }
+	best := eval(lo)
+	for h := lo; h <= hi; h++ {
+		if eval(h) == best { // want "exact float"
+			return h
+		}
+	}
+	return lo
+}
+
+// DirectCall compares a call result inline.
+func DirectCall(v int) bool {
+	return mdl.Universal(v) == 3 // want "exact float"
+}
+
+// Suppressed justifies an exact sentinel comparison.
+func Suppressed(v int) bool {
+	c := mdl.DocCost(1, v)
+	//vet:allow floateq golden-file input: comparison against an exact sentinel value
+	return c == 0 // want-suppressed "exact float"
+}
+
+// IntEq compares integers: not a float comparison, clean even with cost
+// provenance in scope.
+func IntEq(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,131 @@
+// Package looprace is golden-file input for the looprace analyzer. See
+// testdata/maporder for the want-comment convention.
+package looprace
+
+import (
+	"sync"
+
+	"infoshield/internal/par"
+)
+
+// CaptureLoopVar launches a goroutine that captures the loop variable
+// instead of taking it as a parameter.
+func CaptureLoopVar(xs, out []int) {
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = xs[i] * 2 // want "loop variable" "non-partitioned index"
+		}()
+	}
+	wg.Wait()
+}
+
+// ParamPassed follows the repo discipline: the loop variable crosses the
+// goroutine boundary as a parameter and each worker writes only its own
+// cell.
+func ParamPassed(xs, out []int) {
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = xs[i] * 2
+		}(i)
+	}
+	wg.Wait()
+}
+
+// SharedCounter increments a variable shared across workers with no lock.
+func SharedCounter(xs []int) int {
+	n := 0
+	var wg sync.WaitGroup
+	for range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n++ // want "write to shared variable"
+		}()
+	}
+	wg.Wait()
+	return n
+}
+
+// LockedCounter takes a lock, so its shared writes are assumed guarded.
+func LockedCounter(xs []int) int {
+	n := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			n++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return n
+}
+
+// MapWrite writes a shared map from concurrent goroutines.
+func MapWrite(keys []string, m map[string]int) {
+	var wg sync.WaitGroup
+	for _, k := range keys {
+		wg.Add(1)
+		go func(k string) {
+			defer wg.Done()
+			m[k] = 1 // want "concurrent write to shared map"
+		}(k)
+	}
+	wg.Wait()
+}
+
+// NonPartitioned indexes a shared slice with shared state: the index is
+// not derived from closure-local variables, so writes can collide.
+func NonPartitioned(xs, out []int) {
+	j := 0
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x int) {
+			defer wg.Done()
+			out[j] = x // want "non-partitioned index"
+			j = j + 1  // want "write to shared variable"
+		}(x)
+	}
+	wg.Wait()
+}
+
+// PoolPartitioned is the canonical internal/par pattern: each worker owns
+// a contiguous index range and writes only inside it.
+func PoolPartitioned(in, out []float64) {
+	par.Ranges(len(in), 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = in[i] * 2
+		}
+	})
+}
+
+// PoolConstIndex has every pool worker write the same cell: a constant
+// index is only safe for a single-instance closure.
+func PoolConstIndex(in, out []float64) {
+	par.Ranges(len(in), 4, func(lo, hi int) {
+		out[0] = in[0] // want "non-partitioned index"
+	})
+}
+
+// Suppressed justifies a deliberate shared write.
+func Suppressed(xs []int, done chan struct{}) int {
+	n := 0
+	for range xs {
+		go func() {
+			//vet:allow looprace golden-file input: the single goroutine owns n until done is closed
+			n++ // want-suppressed "write to shared variable"
+			done <- struct{}{}
+		}()
+	}
+	return n
+}

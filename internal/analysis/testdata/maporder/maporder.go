@@ -1,0 +1,102 @@
+// Package maporder is golden-file input for the maporder analyzer. A
+// `want "substr"` comment marks a line that must produce a finding whose
+// message contains substr; a `want-suppressed "substr"` comment marks a
+// finding that must be filtered by a //vet: directive; everything else
+// must stay clean.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// AppendLeak appends map keys in iteration order with no later sort.
+func AppendLeak(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "iteration order of map"
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedAfter is exempt: a later statement of the same block sorts the
+// appended slice, re-establishing a canonical order.
+func SortedAfter(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PerKey appends into a map cell keyed by the iteration key: per-key
+// writes are order-insensitive and exempt.
+func PerKey(m map[string]int, out map[string][]int) {
+	for k, v := range m {
+		out[k] = append(out[k], v)
+	}
+}
+
+// WriterLeak writes during iteration: flagged even with no append.
+func WriterLeak(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "iteration order of map"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// ChannelLeak sends keys on a channel that outlives the loop.
+func ChannelLeak(m map[string]int, ch chan string) {
+	for k := range m { // want "iteration order of map"
+		ch <- k
+	}
+}
+
+// ClosureLeak appends through a locally-bound helper closure — the
+// analyzer follows the binding one level deep.
+func ClosureLeak(m map[string]int) []string {
+	var out []string
+	add := func(k string) { out = append(out, k) }
+	for k := range m { // want "iteration order of map"
+		add(k)
+	}
+	return out
+}
+
+// Suppressed carries a justification directive on the preceding line.
+func Suppressed(m map[string]int) []string {
+	var out []string
+	//vet:ordered golden-file input: accumulation order is irrelevant here
+	for k := range m { // want-suppressed "iteration order of map"
+		out = append(out, k)
+	}
+	return out
+}
+
+// BareDirective carries a directive without a justification: inert, so
+// the finding stays.
+func BareDirective(m map[string]int) []string {
+	var out []string
+	//vet:ordered
+	for k := range m { // want "iteration order of map"
+		out = append(out, k)
+	}
+	return out
+}
+
+// Reduction sums values: commutative, clean.
+func Reduction(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// CountInto counts into another map: per-key write, clean.
+func CountInto(m map[string]int, counts map[int]int) {
+	for _, v := range m {
+		counts[v]++
+	}
+}

@@ -160,6 +160,7 @@ func ReadCSV(r io.Reader) (*Corpus, error) {
 		case len(rec) >= 6:
 			d.Text = rec[1]
 			d.Account = rec[2]
+			//vet:allow ctxerr unparsable label column defaults to false, matching the lenient Atoi handling below
 			d.Label, _ = strconv.ParseBool(rec[3])
 			if v, err := strconv.Atoi(rec[4]); err == nil {
 				d.ClusterLabel = v

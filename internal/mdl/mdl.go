@@ -166,3 +166,24 @@ func LowerBound(numTemplates, numDocs, vocabSize int) float64 {
 	}
 	return float64(numTemplates)/float64(numDocs) + 1/lgV
 }
+
+// CostEpsilon is the tolerance ApproxEq uses when comparing description
+// lengths. Costs are sums of lg terms, so two mathematically equal costs
+// computed along different code paths — or on different architectures —
+// can differ in the last few ulps; 1e-9 bits is far below any decision
+// threshold the search cares about.
+const CostEpsilon = 1e-9
+
+// ApproxEq reports whether two cost values are equal up to CostEpsilon,
+// absolutely for small magnitudes and relatively for large ones. All
+// equality decisions between description lengths must go through this
+// helper (enforced by the floateq analyzer) so that search tie-breaking
+// is stable across platforms.
+func ApproxEq(a, b float64) bool {
+	diff := math.Abs(a - b)
+	if diff <= CostEpsilon {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= CostEpsilon*scale
+}

@@ -239,3 +239,38 @@ func TestLowerBoundAchievedByExactDuplicates(t *testing.T) {
 		}
 	}
 }
+
+func TestApproxEq(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{1, 1, true},
+		{1, 1 + 1e-12, true},             // absolute tolerance
+		{1e12, 1e12 * (1 + 1e-12), true}, // relative tolerance at large magnitude
+		{0, CostEpsilon, true},           // boundary
+		{1, 1 + 1e-6, false},             // clearly different
+		{1e12, 1e12 * (1 + 1e-6), false}, // beyond relative tolerance
+		{-1, 1, false},
+		{-1, -1 - 1e-12, true}, // symmetric for negatives
+	}
+	for _, c := range cases {
+		if got := ApproxEq(c.a, c.b); got != c.want {
+			t.Errorf("ApproxEq(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := ApproxEq(c.b, c.a); got != c.want {
+			t.Errorf("ApproxEq(%v, %v) = %v, want %v (not symmetric)", c.b, c.a, got, c.want)
+		}
+	}
+	// Sums of lg terms accumulated in different orders must compare equal.
+	terms := []float64{Lg(3), Lg(7), Lg(11), Lg(500), Universal(42)}
+	var fwd, rev float64
+	for i := range terms {
+		fwd += terms[i]
+		rev += terms[len(terms)-1-i]
+	}
+	if !ApproxEq(fwd, rev) {
+		t.Errorf("ApproxEq rejects reordered lg-term sums: %v vs %v", fwd, rev)
+	}
+}

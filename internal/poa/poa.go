@@ -324,6 +324,7 @@ func (g *Graph) Matrix() *align.Matrix {
 	colIndex := make(map[int]int, len(colRank))
 	remaining := len(colRank)
 	ready := make([]int, 0, remaining)
+	//vet:ordered pickMin selects by colRank, which is unique per column, so ready's order is irrelevant
 	for c, d := range indeg {
 		if d == 0 {
 			ready = append(ready, c)
@@ -357,6 +358,7 @@ func (g *Graph) Matrix() *align.Matrix {
 		// alignment-ring inconsistency; fall back to min-node-rank order
 		// for the leftover columns so output stays deterministic.
 		var leftover []int
+		//vet:ordered leftover is consumed via pickMin over unique colRank values, so accumulation order is irrelevant
 		for c := range colRank {
 			if _, done := colIndex[c]; !done {
 				leftover = append(leftover, c)

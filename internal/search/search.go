@@ -7,6 +7,8 @@
 // keeps the method parameter-free.
 package search
 
+import "infoshield/internal/mdl"
+
 // Dichotomous minimizes cost over the integers [lo, hi] following
 // Algorithm 2's halving scheme and returns the argmin among all evaluated
 // points. Evaluations are memoized, so cost is called at most once per
@@ -42,9 +44,19 @@ func Dichotomous(lo, hi int, cost func(int) float64) int {
 	}
 	eval(l)
 	// Return the best evaluated point (deterministic tie-break: smallest).
+	// Cost ties are decided with mdl.ApproxEq — exact float equality on
+	// lg-term sums is architecture-dependent in the last ulps.
 	bestH, bestC := lo, eval(lo)
 	for h := lo; h <= hi; h++ {
-		if c, ok := memo[h]; ok && (c < bestC || (c == bestC && h < bestH)) {
+		c, ok := memo[h]
+		if !ok {
+			continue
+		}
+		if mdl.ApproxEq(c, bestC) {
+			if h < bestH {
+				bestH, bestC = h, c
+			}
+		} else if c < bestC {
 			bestH, bestC = h, c
 		}
 	}

@@ -1,0 +1,32 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+)
+
+// errWriter wraps an io.Writer and remembers the first write error so a
+// renderer that promises an error to its caller can stay a linear
+// sequence of prints instead of checking every Fprintf. After the first
+// failure every subsequent write is a no-op; the caller returns ew.err
+// once at the end. Write always reports success upward so fmt never
+// truncates mid-verb — the stashed error is the one that matters.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err == nil {
+		_, ew.err = ew.w.Write(p)
+	}
+	return len(p), nil
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	fmt.Fprintf(ew, format, args...)
+}
+
+func (ew *errWriter) print(args ...any) {
+	fmt.Fprint(ew, args...)
+}

@@ -85,31 +85,32 @@ func ScatterSVG(w io.Writer, title, xlabel, ylabel string, logX, logY bool,
 		return float64(top) + (1-f)*plotH
 	}
 
-	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", width, height)
-	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
-	fmt.Fprintf(w, `<text x="%d" y="20" font-size="15" font-weight="bold">%s</text>`+"\n", left, html.EscapeString(title))
+	ew := &errWriter{w: w}
+	ew.printf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	ew.printf(`<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	ew.printf(`<text x="%d" y="20" font-size="15" font-weight="bold">%s</text>`+"\n", left, html.EscapeString(title))
 	// Axes.
-	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+	ew.printf(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
 		left, height-bottom, width-right, height-bottom)
-	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+	ew.printf(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
 		left, top, left, height-bottom)
-	fmt.Fprintf(w, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+	ew.printf(`<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
 		left+int(plotW/2), height-12, html.EscapeString(xlabel))
-	fmt.Fprintf(w, `<text x="16" y="%d" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+	ew.printf(`<text x="16" y="%d" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
 		top+int(plotH/2), top+int(plotH/2), html.EscapeString(ylabel))
 	// Ticks.
-	writeTicks(w, minX, maxX, logX, func(v float64) (float64, float64) { return tx(v), float64(height - bottom) }, true)
-	writeTicks(w, minY, maxY, logY, func(v float64) (float64, float64) { return float64(left), ty(v) }, false)
+	writeTicks(ew, minX, maxX, logX, func(v float64) (float64, float64) { return tx(v), float64(height - bottom) }, true)
+	writeTicks(ew, minY, maxY, logY, func(v float64) (float64, float64) { return float64(left), ty(v) }, false)
 	// Curves.
 	for _, c := range curves {
-		fmt.Fprintf(w, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="`, c.Color)
+		ew.printf(`<polyline fill="none" stroke="%s" stroke-width="1.5" points="`, c.Color)
 		for i := range c.X {
 			if logX && c.X[i] <= 0 || logY && c.Y[i] <= 0 {
 				continue
 			}
-			fmt.Fprintf(w, "%.1f,%.1f ", tx(c.X[i]), ty(c.Y[i]))
+			ew.printf("%.1f,%.1f ", tx(c.X[i]), ty(c.Y[i]))
 		}
-		fmt.Fprint(w, `"/>`+"\n")
+		ew.print(`"/>` + "\n")
 	}
 	// Points.
 	for _, s := range series {
@@ -117,14 +118,14 @@ func ScatterSVG(w io.Writer, title, xlabel, ylabel string, logX, logY bool,
 			if logX && s.X[i] <= 0 || logY && s.Y[i] <= 0 {
 				continue
 			}
-			fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s" fill-opacity="0.75"/>`+"\n",
+			ew.printf(`<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s" fill-opacity="0.75"/>`+"\n",
 				tx(s.X[i]), ty(s.Y[i]), s.Color)
 		}
 	}
 	// Legend.
 	ly := top + 8
 	for _, s := range series {
-		fmt.Fprintf(w, `<circle cx="%d" cy="%d" r="4" fill="%s"/><text x="%d" y="%d">%s</text>`+"\n",
+		ew.printf(`<circle cx="%d" cy="%d" r="4" fill="%s"/><text x="%d" y="%d">%s</text>`+"\n",
 			width-right-120, ly, s.Color, width-right-110, ly+4, html.EscapeString(s.Name))
 		ly += 18
 	}
@@ -132,12 +133,12 @@ func ScatterSVG(w io.Writer, title, xlabel, ylabel string, logX, logY bool,
 		if c.Name == "" {
 			continue
 		}
-		fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/><text x="%d" y="%d">%s</text>`+"\n",
+		ew.printf(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/><text x="%d" y="%d">%s</text>`+"\n",
 			width-right-128, ly, width-right-112, ly, c.Color, width-right-110, ly+4, html.EscapeString(c.Name))
 		ly += 18
 	}
-	_, err := fmt.Fprintln(w, `</svg>`)
-	return err
+	ew.print(`</svg>` + "\n")
+	return ew.err
 }
 
 // writeTicks emits tick marks and labels; for log axes, at powers of ten.

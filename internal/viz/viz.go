@@ -151,31 +151,32 @@ func WriteHTML(w io.Writer, clusters []HTMLCluster, vocab *tokenize.Vocab) error
 	if _, err := io.WriteString(w, htmlHeader); err != nil {
 		return err
 	}
+	ew := &errWriter{w: w}
 	for _, c := range clusters {
-		fmt.Fprintf(w, "<table><caption>%s</caption>\n", html.EscapeString(c.Label))
-		fmt.Fprint(w, "<tr><th>doc</th><th>text</th></tr>\n")
+		ew.printf("<table><caption>%s</caption>\n", html.EscapeString(c.Label))
+		ew.print("<tr><th>doc</th><th>text</th></tr>\n")
 		// Template row.
-		fmt.Fprint(w, "<tr><th>T</th><td>")
+		ew.print("<tr><th>T</th><td>")
 		for i, id := range c.T.TokenIDs {
 			if i > 0 {
-				fmt.Fprint(w, " ")
+				ew.print(" ")
 			}
 			if c.T.IsSlot[i] {
-				fmt.Fprint(w, `<span class="slot">*</span>`)
+				ew.print(`<span class="slot">*</span>`)
 			} else {
-				fmt.Fprint(w, html.EscapeString(vocab.Word(id)))
+				ew.print(html.EscapeString(vocab.Word(id)))
 			}
 		}
-		fmt.Fprint(w, "</td></tr>\n")
+		ew.print("</td></tr>\n")
 		for row := range c.Fit.M.Rows {
 			id := row
 			if row < len(c.DocIDs) {
 				id = c.DocIDs[row]
 			}
-			fmt.Fprintf(w, "<tr><td>#%d</td><td>", id)
+			ew.printf("<tr><td>#%d</td><td>", id)
 			for j, piece := range c.Fit.DocPieces(row) {
 				if j > 0 {
-					fmt.Fprint(w, " ")
+					ew.print(" ")
 				}
 				words := make([]string, len(piece.Tokens))
 				for i, tid := range piece.Tokens {
@@ -183,15 +184,15 @@ func WriteHTML(w io.Writer, clusters []HTMLCluster, vocab *tokenize.Vocab) error
 				}
 				text := html.EscapeString(strings.Join(words, " "))
 				if cls := htmlClass(piece.Op); cls != "" {
-					fmt.Fprintf(w, `<span class=%q>%s</span>`, cls, text)
+					ew.printf(`<span class=%q>%s</span>`, cls, text)
 				} else {
-					fmt.Fprint(w, text)
+					ew.print(text)
 				}
 			}
-			fmt.Fprint(w, "</td></tr>\n")
+			ew.print("</td></tr>\n")
 		}
-		fmt.Fprint(w, "</table>\n")
+		ew.print("</table>\n")
 	}
-	_, err := io.WriteString(w, "</body></html>\n")
-	return err
+	ew.print("</body></html>\n")
+	return ew.err
 }

@@ -16,7 +16,13 @@ import (
 // scoring, and concurrent refinement may change scheduling, never
 // results.
 func TestDetectWorkersEquivalence(t *testing.T) {
-	c := datagen.Twitter(datagen.TwitterConfig{Seed: 1, GenuineAccounts: 25, BotAccounts: 25})
+	cfg := datagen.TwitterConfig{Seed: 1, GenuineAccounts: 25, BotAccounts: 25}
+	if testing.Short() {
+		// Keep the gate meaningful but fast under -short (the race-enabled
+		// CI leg runs it this way); the full corpus runs in the normal leg.
+		cfg.GenuineAccounts, cfg.BotAccounts = 8, 8
+	}
+	c := datagen.Twitter(cfg)
 	texts := c.Texts()
 
 	ref := Detect(texts, Config{Workers: 1})
