@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test build vet race fuzz bench bench-coarse bench-all experiments
+.PHONY: check test build vet race fuzz bench bench-coarse bench-json bench-all experiments
 
 ## check: the full gate — vet (go vet + infoshield-vet), build, and
 ## race-enabled tests.
@@ -39,6 +39,15 @@ bench:
 ## 1/2/4/8-worker scaling sweep.
 bench-coarse:
 	$(GO) test -bench='Coarse|TopPhrase' -benchmem -run '^$$'
+
+## bench-json: the coarse, fine, and end-to-end benchmarks archived as
+## machine-readable JSON via cmd/benchjson (plus the raw text). CI runs
+## this with BENCH_COUNT=1 and uploads BENCH_fine.json as an artifact;
+## use the default count locally for stable numbers.
+BENCH_COUNT ?= 5
+bench-json:
+	$(GO) test -bench='Coarse|Fine|PipelineEndToEnd' -benchmem -count=$(BENCH_COUNT) -run '^$$' > BENCH_fine.txt
+	$(GO) run ./cmd/benchjson -o BENCH_fine.json < BENCH_fine.txt
 
 bench-all:
 	$(GO) test -bench=. -benchmem -run '^$$'

@@ -194,6 +194,49 @@ func BenchmarkTopPhraseIDs(b *testing.B) {
 	}
 }
 
+// fineInputs runs the pipeline front half (tokenize → encode → coarse)
+// so the fine-stage benchmarks measure refinement alone.
+func fineInputs(texts []string) (clusters [][]int, tokens [][]int, top [][]tfidf.PhraseID, v int) {
+	var tk tokenize.Tokenizer
+	words := tk.All(texts, 0)
+	vocab := tokenize.NewVocab()
+	tokens = make([][]int, len(words))
+	for i, w := range words {
+		tokens[i] = vocab.Encode(w)
+	}
+	clusters, top = core.Coarse(words, core.Options{})
+	return clusters, tokens, top, vocab.Size()
+}
+
+// BenchmarkFine isolates InfoShield-Fine (screen → MSA → consensus →
+// slots) on the mixed Twitter corpus, sweeping the worker pool.
+func BenchmarkFine(b *testing.B) {
+	clusters, tokens, top, v := fineInputs(twitterTexts(b, 50))
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.Refine(clusters, tokens, top, v, core.Options{Workers: workers})
+			}
+		})
+	}
+}
+
+// BenchmarkFineSkewed runs the fine pass on the straggler-shaped corpus
+// (one mega cluster plus many small ones): the case the largest-first
+// schedule and the nested screening fan-out exist for.
+func BenchmarkFineSkewed(b *testing.B) {
+	clusters, tokens, top, v := fineInputs(skewedTexts())
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.Refine(clusters, tokens, top, v, core.Options{Workers: workers})
+			}
+		})
+	}
+}
+
 // BenchmarkPairwiseAlign measures the token-level Needleman-Wunsch on
 // tweet-length sequences (the Fine pass's inner loop).
 func BenchmarkPairwiseAlign(b *testing.B) {

@@ -201,11 +201,19 @@ func PairwiseWild(ref []int, wild []bool, doc []int) Alignment {
 // ref as a slot-free single template (Section IV-B.1 uses this to build
 // the candidate set: d joins when C(d|d1) < C(d)).
 func ConditionalCost(ref, doc []int, vocabSize int) float64 {
-	a := Pairwise(ref, doc)
+	var sc Scratch
+	return ConditionalCostScratch(ref, doc, vocabSize, &sc)
+}
+
+// ConditionalCostScratch is ConditionalCost with a caller-owned Scratch:
+// the DP table is reused across calls and no edit script is built. The
+// returned cost is bit-identical to ConditionalCost's.
+func ConditionalCostScratch(ref, doc []int, vocabSize int, sc *Scratch) float64 {
+	matches, subs, inss, dels := pairwiseStats(ref, doc, sc)
 	return mdl.DataCostMatched(mdl.AlignStats{
-		AlignLen:   a.Len(),
-		Unmatched:  a.Distance(),
-		AddedWords: a.Subs + a.Inss,
+		AlignLen:   matches + subs + inss + dels,
+		Unmatched:  subs + inss + dels,
+		AddedWords: subs + inss,
 	}, 1, vocabSize)
 }
 

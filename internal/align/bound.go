@@ -35,34 +35,91 @@ func SortedCopy(doc []int) []int {
 	return s
 }
 
-// sortInts is an insertion/quick hybrid avoiding the sort package's
-// interface overhead on the short sequences documents produce.
+// SortInts sorts a ascending in place — the non-allocating form of
+// SortedCopy for callers that manage their own buffers (the fine pass
+// packs its sorted copies into an arena).
+func SortInts(a []int) { sortInts(a) }
+
+// sortInts is an introsort avoiding the sort package's interface overhead
+// on the short sequences documents produce: insertion sort below 24
+// elements, middle-pivot quicksort above, and a heap-sort fallback once
+// the recursion depth exceeds 2·⌊lg n⌋ — the classic guard that keeps
+// adversarial pivot patterns (median-killer inputs) O(n log n) instead of
+// quadratic.
 func sortInts(a []int) {
-	if len(a) < 24 {
-		for i := 1; i < len(a); i++ {
-			for j := i; j > 0 && a[j] < a[j-1]; j-- {
-				a[j], a[j-1] = a[j-1], a[j]
+	depth := 0
+	for n := len(a); n > 0; n >>= 1 {
+		depth += 2
+	}
+	introSortInts(a, depth)
+}
+
+func introSortInts(a []int, depth int) {
+	for len(a) >= 24 {
+		if depth == 0 {
+			heapSortInts(a)
+			return
+		}
+		depth--
+		pivot := a[len(a)/2]
+		lo, hi := 0, len(a)-1
+		for lo <= hi {
+			for a[lo] < pivot {
+				lo++
+			}
+			for a[hi] > pivot {
+				hi--
+			}
+			if lo <= hi {
+				a[lo], a[hi] = a[hi], a[lo]
+				lo++
+				hi--
 			}
 		}
-		return
-	}
-	pivot := a[len(a)/2]
-	lo, hi := 0, len(a)-1
-	for lo <= hi {
-		for a[lo] < pivot {
-			lo++
-		}
-		for a[hi] > pivot {
-			hi--
-		}
-		if lo <= hi {
-			a[lo], a[hi] = a[hi], a[lo]
-			lo++
-			hi--
+		// Recurse into the smaller half, loop on the larger: stack depth
+		// stays O(lg n) even before the heap-sort guard triggers.
+		if hi+1 < len(a)-lo {
+			introSortInts(a[:hi+1], depth)
+			a = a[lo:]
+		} else {
+			introSortInts(a[lo:], depth)
+			a = a[:hi+1]
 		}
 	}
-	sortInts(a[:hi+1])
-	sortInts(a[lo:])
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// heapSortInts is the depth-limit fallback: in-place max-heap selection.
+func heapSortInts(a []int) {
+	n := len(a)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownInts(a, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		a[0], a[end] = a[end], a[0]
+		siftDownInts(a, 0, end)
+	}
+}
+
+func siftDownInts(a []int, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && a[child+1] > a[child] {
+			child++
+		}
+		if a[root] >= a[child] {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
 }
 
 // OverlapSorted returns the multiset intersection size of two ascending

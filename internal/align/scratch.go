@@ -1,0 +1,72 @@
+package align
+
+// Scratch holds the reusable DP buffer behind the stats-only pairwise
+// aligner. InfoShield-Fine's candidate screen runs one O(l²) alignment
+// per surviving neighbor per round; without a scratch each of those
+// allocated a fresh (n+1)×(m+1) table plus an edit script. A Scratch is
+// owned by exactly one goroutine at a time — the fine pass threads one
+// per worker — and grows monotonically to the largest table it has seen.
+type Scratch struct {
+	dp []int32
+}
+
+// table returns a zero-length-agnostic DP buffer with capacity for
+// cells many int32 cells. Contents are garbage; callers overwrite.
+func (s *Scratch) table(cells int) []int32 {
+	if cap(s.dp) < cells {
+		s.dp = make([]int32, cells)
+	}
+	return s.dp[:cells]
+}
+
+// pairwiseStats runs the same global alignment DP as Pairwise — identical
+// scores, identical match>sub>del>ins tie-breaking — but only counts the
+// edit operations instead of materializing the edit script, and fills its
+// table from sc instead of allocating. The counts (and therefore every
+// MDL cost derived from them) are bit-identical to Pairwise's.
+func pairwiseStats(ref, doc []int, sc *Scratch) (matches, subs, inss, dels int) {
+	n, m := len(ref), len(doc)
+	width := m + 1
+	dp := sc.table((n + 1) * width)
+	for j := 0; j <= m; j++ {
+		dp[j] = int32(j)
+	}
+	for i := 1; i <= n; i++ {
+		ri := ref[i-1]
+		row, prev := dp[i*width:(i+1)*width], dp[(i-1)*width:i*width]
+		row[0] = int32(i)
+		for j := 1; j <= m; j++ {
+			diag := prev[j-1]
+			if ri != doc[j-1] {
+				diag++
+			}
+			best := diag
+			if v := prev[j] + 1; v < best { // delete ref[i-1]
+				best = v
+			}
+			if v := row[j-1] + 1; v < best { // insert doc[j-1]
+				best = v
+			}
+			row[j] = best
+		}
+	}
+	i, j := n, m
+	for i > 0 || j > 0 {
+		cur := dp[i*width+j]
+		switch {
+		case i > 0 && j > 0 && ref[i-1] == doc[j-1] && cur == dp[(i-1)*width+j-1]:
+			matches++
+			i, j = i-1, j-1
+		case i > 0 && j > 0 && cur == dp[(i-1)*width+j-1]+1 && ref[i-1] != doc[j-1]:
+			subs++
+			i, j = i-1, j-1
+		case i > 0 && cur == dp[(i-1)*width+j]+1:
+			dels++
+			i--
+		default: // j > 0
+			inss++
+			j--
+		}
+	}
+	return matches, subs, inss, dels
+}

@@ -8,10 +8,13 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"infoshield/internal/mdl"
+	"infoshield/internal/par"
 	"infoshield/internal/template"
+	"infoshield/internal/tfidf"
 	"infoshield/internal/tokenize"
 )
 
@@ -108,6 +111,9 @@ type Result struct {
 	// CoarseStages breaks CoarseDuration into its parallel sub-stages
 	// (tokenize / extract / score / components).
 	CoarseStages CoarseTimings
+	// FineStages breaks FineDuration into its sub-stages (screen / align
+	// / consensus / slots), summed across concurrent cluster workers.
+	FineStages FineTimings
 }
 
 // NumTemplates returns the total template count across clusters.
@@ -164,23 +170,99 @@ func Run(texts []string, opt Options) *Result {
 	res.CoarseDuration = time.Since(start)
 	fineStart := time.Now()
 
-	// Refine clusters concurrently; results are merged in cluster order
-	// so output is deterministic regardless of scheduling.
-	refined := make([][]TemplateResult, len(coarse))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opt.workers())
-	for ci, docIDs := range coarse {
-		wg.Add(1)
-		go func(ci int, docIDs []int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			refined[ci] = Fine(docIDs, tokens, top, vocab.Size(), opt)
-		}(ci, docIDs)
-	}
-	wg.Wait()
+	refined, fineStages := Refine(coarse, tokens, top, vocab.Size(), opt)
+	res.FineStages = fineStages
 	res.FineDuration = time.Since(fineStart)
 
+	res.mergeRefined(refined)
+	return res
+}
+
+// Refine runs Fine over every coarse cluster on a bounded worker pool and
+// returns the per-cluster template lists (indexed like coarse) plus the
+// aggregated stage timings.
+//
+// Scheduling is straggler-aware without affecting output: exactly
+// min(Workers, clusters) goroutines pull clusters largest-first from a
+// size-sorted queue — no goroutine-per-cluster fan-out, so the goroutine
+// count stays O(Workers) however many clusters the coarse pass produced —
+// and results land in refined[ci], keyed by cluster index, so the merge
+// order is deterministic regardless of which worker ran what. A shared
+// par.Budget caps total parallelism at Workers: each pool worker holds
+// one token while it works and returns it when the queue drains, letting
+// a straggling mega-cluster borrow the idle capacity for its candidate-
+// screening fan-out (fineCluster's verdicts are worker-count-invariant,
+// so borrowed workers change wall clock, never results).
+func Refine(coarse [][]int, tokens [][]int, top [][]tfidf.PhraseID, vocabSize int, opt Options) ([][]TemplateResult, FineTimings) {
+	refined := make([][]TemplateResult, len(coarse))
+	var total FineTimings
+	if len(coarse) == 0 {
+		return refined, total
+	}
+	// Largest-first queue: the biggest cluster dominates fine wall clock
+	// (Lemma 2's Σ k·S·log S·l² is cluster-size-skewed on real corpora),
+	// so it must start first, not land on whichever worker frees up last.
+	order := make([]int, len(coarse))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := order[a], order[b]
+		if len(coarse[ca]) != len(coarse[cb]) {
+			return len(coarse[ca]) > len(coarse[cb])
+		}
+		return ca < cb
+	})
+	workers := opt.workers()
+	if workers > len(coarse) {
+		workers = len(coarse)
+	}
+	if workers == 1 {
+		sc := &fineScratch{}
+		for _, ci := range order {
+			var t FineTimings
+			refined[ci], t = fineCluster(coarse[ci], tokens, top, vocabSize, opt, sc, nil)
+			total.add(t)
+		}
+		return refined, total
+	}
+	nested := par.NewBudget(opt.workers())
+	perWorker := make([]FineTimings, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			nested.Acquire()
+			sc := &fineScratch{}
+			var acc FineTimings
+			for {
+				k := next.Add(1) - 1
+				if k >= int64(len(order)) {
+					break
+				}
+				ci := order[k]
+				out, t := fineCluster(coarse[ci], tokens, top, vocabSize, opt, sc, nested)
+				refined[ci] = out
+				acc.add(t)
+			}
+			// Queue drained for this worker: return its token so a
+			// straggler's screening fan-out can borrow the idle capacity.
+			nested.Release(1)
+			perWorker[w] = acc
+		}(w)
+	}
+	wg.Wait()
+	for _, t := range perWorker {
+		total.add(t)
+	}
+	return refined, total
+}
+
+// mergeRefined folds the per-cluster template lists into Clusters and
+// DocTemplate, in cluster order.
+func (res *Result) mergeRefined(refined [][]TemplateResult) {
 	for _, templates := range refined {
 		if len(templates) == 0 {
 			continue
@@ -204,5 +286,4 @@ func Run(texts []string, opt Options) *Result {
 			tid++
 		}
 	}
-	return res
 }

@@ -2,13 +2,100 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"infoshield/internal/align"
-	"infoshield/internal/mdl"
+	"infoshield/internal/par"
 	"infoshield/internal/poa"
 	"infoshield/internal/template"
 	"infoshield/internal/tfidf"
 )
+
+// FineTimings breaks the fine pass into its stages, symmetric to
+// CoarseTimings: candidate screening (overlap bound + conditional
+// alignment), MSA construction, consensus search, and slot detection.
+// Durations are summed across concurrent cluster workers, so with
+// Workers > 1 they measure aggregate CPU time and may exceed the fine
+// pass's wall clock.
+type FineTimings struct {
+	Screen    time.Duration // neighbor collection, overlap bound, C(d|d1) test
+	Align     time.Duration // POA / star MSA construction
+	Consensus time.Duration // consensus search (Algorithm 2)
+	Slots     time.Duration // slot detection (Algorithm 3)
+}
+
+func (t *FineTimings) add(o FineTimings) {
+	t.Screen += o.Screen
+	t.Align += o.Align
+	t.Consensus += o.Consensus
+	t.Slots += o.Slots
+}
+
+// screenChunk is the minimum number of neighbors a screening worker must
+// have to be worth borrowing: below it the fan-out bookkeeping costs more
+// than the O(l²) alignments it parallelizes.
+const screenChunk = 32
+
+// fineScratch bundles every buffer the fine pass reuses across rounds and
+// clusters: the pairwise-DP scratch, the POA graph's DP/topology buffers,
+// the sorted-token arena behind the overlap screen, and the small
+// per-round slices. One fineScratch is owned by one pool worker; the
+// screening fan-out hands each borrowed worker its own align.Scratch from
+// the screen slice. The zero value is ready to use.
+type fineScratch struct {
+	align      align.Scratch   // serial screen path
+	poa        poa.Scratch     // POA DP + column ordering
+	screen     []align.Scratch // per-worker scratches for the parallel screen
+	arena      []int           // backing store for sorted
+	sorted     [][]int         // sorted[i]: ascending copy of doc i's tokens
+	alive      []bool
+	stamp      []int
+	saCost     []float64 // memoized standalone costs C(d), per local index
+	neigh      []int
+	candidates []int
+	members    []int
+	seqs       [][]int
+	verdict    []bool
+}
+
+func growInts(p *[]int, n int) []int {
+	if cap(*p) < n {
+		*p = make([]int, n)
+	}
+	*p = (*p)[:n]
+	return *p
+}
+
+func growBools(p *[]bool, n int) []bool {
+	if cap(*p) < n {
+		*p = make([]bool, n)
+	}
+	*p = (*p)[:n]
+	return *p
+}
+
+func growFloats(p *[]float64, n int) []float64 {
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return *p
+}
+
+func growSeqs(p *[][]int, n int) [][]int {
+	if cap(*p) < n {
+		*p = make([][]int, n)
+	}
+	*p = (*p)[:n]
+	return *p
+}
+
+func growScratches(p *[]align.Scratch, n int) []align.Scratch {
+	for len(*p) < n {
+		*p = append(*p, align.Scratch{})
+	}
+	return (*p)[:n]
+}
 
 // Fine runs InfoShield-Fine (Algorithm 4) on one coarse cluster: repeat
 // {candidate alignment → consensus search → slot detection → MDL
@@ -17,6 +104,16 @@ import (
 // the per-document selected phrases from the coarse pass; vocabSize the
 // paper's V.
 //
+// Fine is the standalone convenience; Refine runs it across clusters on a
+// worker pool with shared scratch and a nested-parallelism budget.
+func Fine(docIDs []int, tokens [][]int, top [][]tfidf.PhraseID, vocabSize int, opt Options) []TemplateResult {
+	out, _ := fineCluster(docIDs, tokens, top, vocabSize, opt, &fineScratch{}, nil)
+	return out
+}
+
+// fineCluster is Fine with caller-owned scratch and an optional borrowed
+// parallelism budget for the candidate screen.
+//
 // Candidate scans are restricted to d1's phrase-graph neighbors: only
 // documents sharing a selected top phrase with d1 are tested against
 // C(d|d1) < C(d). Documents the coarse graph deems unrelated essentially
@@ -24,24 +121,42 @@ import (
 // restriction is what keeps Fine sub-quadratic on large heterogeneous
 // coarse components — the Σ k·S·log(S)·l² complexity of Lemma 2 assumes
 // exactly this kind of homogeneous candidate pool.
-func Fine(docIDs []int, tokens [][]int, top [][]tfidf.PhraseID, vocabSize int, opt Options) []TemplateResult {
+func fineCluster(docIDs []int, tokens [][]int, top [][]tfidf.PhraseID, vocabSize int, opt Options, sc *fineScratch, nested *par.Budget) ([]TemplateResult, FineTimings) {
 	var out []TemplateResult
+	var t FineTimings
 	n := len(docIDs)
 	// Posting lists over cluster-local indices, plus sorted token copies
-	// for the allocation-free overlap screen.
-	postings := make(map[tfidf.PhraseID][]int)
-	sorted := make([][]int, n)
+	// (packed into one arena) for the allocation-free overlap screen, plus
+	// each document's standalone cost C(d) — the screen re-tests the same
+	// neighbor against it every round, so it is computed exactly once.
+	postings := make(map[tfidf.PhraseID][]int, n)
+	arenaLen := 0
+	for _, d := range docIDs {
+		arenaLen += len(tokens[d])
+	}
+	arena := growInts(&sc.arena, arenaLen)
+	sorted := growSeqs(&sc.sorted, n)
+	saCost := growFloats(&sc.saCost, n)
+	off := 0
 	for i, d := range docIDs {
-		sorted[i] = align.SortedCopy(tokens[d])
+		s := arena[off : off+len(tokens[d]) : off+len(tokens[d])]
+		off += len(tokens[d])
+		copy(s, tokens[d])
+		align.SortInts(s)
+		sorted[i] = s
+		saCost[i] = align.StandaloneCost(tokens[d], vocabSize)
 		for _, p := range top[d] {
 			postings[p] = append(postings[p], i)
 		}
 	}
-	alive := make([]bool, n)
+	alive := growBools(&sc.alive, n)
 	for i := range alive {
 		alive[i] = true
 	}
-	stamp := make([]int, n)
+	stamp := growInts(&sc.stamp, n)
+	for i := range stamp {
+		stamp[i] = 0
+	}
 	round := 0
 	head := 0
 	for {
@@ -59,8 +174,9 @@ func Fine(docIDs []int, tokens [][]int, top [][]tfidf.PhraseID, vocabSize int, o
 			continue
 		}
 		round++
+		screenStart := time.Now()
 		// Collect d1's live phrase-graph neighbors, ascending.
-		var neigh []int
+		neigh := sc.neigh[:0]
 		for _, p := range top[d1] {
 			for _, j := range postings[p] {
 				if j != i1 && alive[j] && stamp[j] != round {
@@ -70,25 +186,50 @@ func Fine(docIDs []int, tokens [][]int, top [][]tfidf.PhraseID, vocabSize int, o
 			}
 		}
 		sort.Ints(neigh)
+		sc.neigh = neigh
 		// Candidate alignment (Algorithm 4): every neighbor that
 		// compresses against d1 joins, in document order. An O(l)
-		// token-overlap bound screens before the O(l²) alignment.
-		candidates := []int{d1}
-		var members []int // local indices of joined docs
-		for _, j := range neigh {
-			toks := tokens[docIDs[j]]
-			if len(toks) == 0 {
-				continue
-			}
-			standalone := align.StandaloneCost(toks, vocabSize)
-			bound := align.ConditionalLowerBound(
-				len(seed), len(toks), align.OverlapSorted(sorted[i1], sorted[j]), vocabSize)
-			if bound < standalone &&
-				align.ConditionalCost(seed, toks, vocabSize) < standalone {
-				candidates = append(candidates, docIDs[j])
-				members = append(members, j)
+		// token-overlap bound screens before the O(l²) alignment. With
+		// enough neighbors and idle budget, the per-neighbor verdicts fan
+		// out over contiguous index ranges — each verdict is a pure
+		// function of (seed, neighbor), and the join below reads them in
+		// ascending index order, so the candidate set is identical for
+		// any worker count.
+		candidates := append(sc.candidates[:0], d1)
+		members := sc.members[:0]
+		screened := false
+		if nested != nil && len(neigh) >= 2*screenChunk {
+			if extra := nested.TryAcquire(len(neigh)/screenChunk - 1); extra > 0 {
+				workers := extra + 1
+				verdict := growBools(&sc.verdict, len(neigh))
+				screen := growScratches(&sc.screen, workers)
+				par.IndexedRanges(len(neigh), workers, func(w, lo, hi int) {
+					wsc := &screen[w]
+					for k := lo; k < hi; k++ {
+						j := neigh[k]
+						verdict[k] = screenVerdict(seed, sorted[i1], tokens[docIDs[j]], sorted[j], saCost[j], vocabSize, wsc)
+					}
+				})
+				nested.Release(extra)
+				for k, j := range neigh {
+					if verdict[k] {
+						candidates = append(candidates, docIDs[j])
+						members = append(members, j)
+					}
+				}
+				screened = true
 			}
 		}
+		if !screened {
+			for _, j := range neigh {
+				if screenVerdict(seed, sorted[i1], tokens[docIDs[j]], sorted[j], saCost[j], vocabSize, &sc.align) {
+					candidates = append(candidates, docIDs[j])
+					members = append(members, j)
+				}
+			}
+		}
+		sc.candidates, sc.members = candidates, members
+		t.Screen += time.Since(screenStart)
 		if len(candidates) < 2 {
 			// A template must encode at least two documents; d1 is noise.
 			continue
@@ -97,41 +238,60 @@ func Fine(docIDs []int, tokens [][]int, top [][]tfidf.PhraseID, vocabSize int, o
 		for _, j := range members {
 			alive[j] = false
 		}
-		matrix := buildMSA(candidates, tokens, opt)
+		alignStart := time.Now()
+		matrix := buildMSA(candidates, tokens, opt, sc)
+		t.Align += time.Since(alignStart)
 		numTemplates := len(out) + 1
+		consensusStart := time.Now()
 		fit := template.ConsensusSearch(matrix, numTemplates, vocabSize)
+		t.Consensus += time.Since(consensusStart)
 		if !opt.DisableSlots {
+			slotStart := time.Now()
 			fit.DetectSlots(numTemplates, vocabSize)
+			t.Slots += time.Since(slotStart)
 		}
 		// Acceptance (Algorithm 4): keep the template iff the total cost
 		// drops, i.e. encoding the candidates with the template is cheaper
 		// than leaving them standalone.
-		before := 0.0
-		for _, d := range candidates {
-			before += mdl.DocCost(len(tokens[d]), vocabSize)
+		before := saCost[i1]
+		for _, j := range members {
+			before += saCost[j]
 		}
 		after := fit.TotalCost(numTemplates, vocabSize)
 		if after < before && fit.Len() > 0 {
 			out = append(out, TemplateResult{
 				Template:   fit.Template(),
-				Docs:       candidates,
+				Docs:       append([]int(nil), candidates...),
 				Fit:        fit,
 				CostBefore: before,
 				CostAfter:  after,
 			})
 		}
 	}
-	return out
+	return out, t
 }
 
-// buildMSA aligns the candidate documents with the configured MSA method.
-func buildMSA(candidates []int, tokens [][]int, opt Options) *align.Matrix {
-	seqs := make([][]int, len(candidates))
+// screenVerdict is the per-neighbor candidate test: the O(l) overlap
+// bound, then the O(l²) conditional alignment only when the bound cannot
+// rule the neighbor out. sa is the neighbor's memoized standalone cost.
+func screenVerdict(seed, sortedSeed, toks, sortedDoc []int, sa float64, vocabSize int, sc *align.Scratch) bool {
+	if len(toks) == 0 {
+		return false
+	}
+	bound := align.ConditionalLowerBound(
+		len(seed), len(toks), align.OverlapSorted(sortedSeed, sortedDoc), vocabSize)
+	return bound < sa && align.ConditionalCostScratch(seed, toks, vocabSize, sc) < sa
+}
+
+// buildMSA aligns the candidate documents with the configured MSA method,
+// reusing the scratch's sequence-header buffer and POA buffers.
+func buildMSA(candidates []int, tokens [][]int, opt Options, sc *fineScratch) *align.Matrix {
+	seqs := growSeqs(&sc.seqs, len(candidates))
 	for i, d := range candidates {
 		seqs[i] = tokens[d]
 	}
 	if opt.UseStarMSA {
 		return align.Star(seqs)
 	}
-	return poa.Build(seqs)
+	return poa.BuildWith(&sc.poa, seqs)
 }

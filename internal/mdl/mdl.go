@@ -19,12 +19,44 @@ func Lg(x float64) float64 {
 	return math.Log2(x)
 }
 
+// lgTabSize bounds the small-integer lookup tables below. Document and
+// alignment lengths — the arguments Fine's hot loop feeds to Lg and
+// Universal — are almost always below it; larger arguments fall back to
+// the direct computation, which produces bit-identical values (the tables
+// are filled with the very same expressions).
+const lgTabSize = 1 << 11
+
+var (
+	lgTab  [lgTabSize]float64 // lgTab[n] = Lg(float64(n))
+	uniTab [lgTabSize]float64 // uniTab[n] = Universal(n)
+)
+
+func init() {
+	uniTab[0], uniTab[1] = 1, 1
+	for n := 2; n < lgTabSize; n++ {
+		lgTab[n] = math.Log2(float64(n))
+		uniTab[n] = 2*lgTab[n] + 1
+	}
+}
+
+// LgInt is Lg(float64(n)) with a small-n lookup table — the integer fast
+// path for the length-indexed log terms of Eq. 2–4.
+func LgInt(n int) float64 {
+	if n >= 0 && n < lgTabSize {
+		return lgTab[n]
+	}
+	return Lg(float64(n))
+}
+
 // Universal returns the universal code length ⟨n⟩ for a non-negative
 // integer, using the paper's approximation ⟨n⟩ = log* n ≈ 2·lg n + 1
-// (Rissanen 1983). ⟨0⟩ and ⟨1⟩ both cost 1 bit.
+// (Rissanen 1983). ⟨0⟩ and ⟨1⟩ both cost 1 bit. Small n is table-driven.
 func Universal(n int) float64 {
-	if n <= 1 {
-		return 1
+	if n < lgTabSize {
+		if n <= 1 {
+			return 1
+		}
+		return uniTab[n]
 	}
 	return 2*Lg(float64(n)) + 1
 }
@@ -80,7 +112,7 @@ func ModelCost(templates []TemplateStats, vocabSize int) float64 {
 	for _, ts := range templates {
 		cost += Universal(ts.Length) +
 			float64(ts.Length-ts.Slots)*WordCost(vocabSize) +
-			float64(1+ts.Slots)*Lg(float64(ts.Length))
+			float64(1+ts.Slots)*LgInt(ts.Length)
 	}
 	return cost
 }
@@ -117,9 +149,9 @@ const opTypeBits = 2
 //
 //	1 (template flag) + lg t + ⟨l̂⟩ + l̂ + e·(lg l̂ + 2) + u·lg V + Σ_j S(w_j)
 func DataCostMatched(a AlignStats, numTemplates, vocabSize int) float64 {
-	cost := 1 + Lg(float64(numTemplates)) +
+	cost := 1 + LgInt(numTemplates) +
 		Universal(a.AlignLen) + float64(a.AlignLen) +
-		float64(a.Unmatched)*(Lg(float64(a.AlignLen))+opTypeBits) +
+		float64(a.Unmatched)*(LgInt(a.AlignLen)+opTypeBits) +
 		float64(a.AddedWords)*WordCost(vocabSize)
 	for _, w := range a.SlotWords {
 		cost += SlotCost(w, vocabSize)

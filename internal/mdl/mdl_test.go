@@ -274,3 +274,30 @@ func TestApproxEq(t *testing.T) {
 		t.Errorf("ApproxEq rejects reordered lg-term sums: %v vs %v", fwd, rev)
 	}
 }
+
+// TestLookupTablesMatchDirect pins the small-n fast paths to the direct
+// computations they cache, across the table boundary: the memoized MDL
+// terms must be bit-identical to the formulas, or parallel and serial
+// cost comparisons could diverge.
+func TestLookupTablesMatchDirect(t *testing.T) {
+	check := func(n int) {
+		t.Helper()
+		wantLg := Lg(float64(n))
+		if got := LgInt(n); got != wantLg {
+			t.Errorf("LgInt(%d) = %v, want %v", n, got, wantLg)
+		}
+		wantUni := 1.0
+		if n > 1 {
+			wantUni = 2*Lg(float64(n)) + 1
+		}
+		if got := Universal(n); got != wantUni {
+			t.Errorf("Universal(%d) = %v, want %v", n, got, wantUni)
+		}
+	}
+	for n := -2; n < 300; n++ {
+		check(n)
+	}
+	for _, n := range []int{lgTabSize - 1, lgTabSize, lgTabSize + 1, 1 << 20} {
+		check(n)
+	}
+}

@@ -75,3 +75,63 @@ func Each(n, workers int, fn func(i int)) {
 func Do(workers int, tasks ...func()) {
 	Each(len(tasks), workers, func(i int) { tasks[i]() })
 }
+
+// Budget is a pool-wide parallelism allowance: a fixed number of tokens,
+// each standing for one goroutine's worth of concurrency. Long-lived pool
+// workers hold one token while they work; a worker that wants to fan out
+// internally borrows extra tokens non-blockingly, so nested parallelism
+// soaks up exactly the capacity idle workers have released and the total
+// never exceeds the budget. A nil *Budget grants nothing — callers run
+// their fan-out inline — which keeps single-threaded paths trivially
+// correct.
+type Budget struct {
+	tokens chan struct{}
+}
+
+// NewBudget creates a budget of n tokens (n < 1 is clamped to 1).
+func NewBudget(n int) *Budget {
+	if n < 1 {
+		n = 1
+	}
+	b := &Budget{tokens: make(chan struct{}, n)}
+	for i := 0; i < n; i++ {
+		b.tokens <- struct{}{}
+	}
+	return b
+}
+
+// Acquire blocks until one token is available and takes it.
+func (b *Budget) Acquire() {
+	if b == nil {
+		return
+	}
+	<-b.tokens
+}
+
+// TryAcquire takes up to max tokens without blocking and returns how many
+// it got (0 on a nil budget).
+func (b *Budget) TryAcquire(max int) int {
+	if b == nil {
+		return 0
+	}
+	got := 0
+	for got < max {
+		select {
+		case <-b.tokens:
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+// Release returns n tokens to the budget.
+func (b *Budget) Release(n int) {
+	if b == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		b.tokens <- struct{}{}
+	}
+}

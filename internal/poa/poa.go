@@ -12,6 +12,7 @@ package poa
 
 import (
 	"fmt"
+	"slices"
 
 	"infoshield/internal/align"
 )
@@ -30,6 +31,37 @@ type Graph struct {
 	nodes   []node
 	columns int     // number of distinct columns allocated
 	paths   [][]int // paths[s] = node ids visited by sequence s, in order
+	sc      *Scratch
+}
+
+// Scratch holds the DP, topology, and column-ordering buffers Add and
+// Matrix would otherwise reallocate per call. One Scratch serves one
+// goroutine; InfoShield-Fine threads a per-worker Scratch through every
+// graph it builds so a cluster's alignments share buffers. The zero
+// value is ready to use.
+type Scratch struct {
+	nodeDeg []int // in-degrees during topoOrder
+	order   []int // topo order (doubles as the Kahn queue)
+	rank    []int // node id -> topo rank
+	cells   []dpCell
+	fuse    []int
+	// Matrix (column DAG) buffers, indexed by column id.
+	colRank  []int
+	colIndex []int
+	colDeg   []int
+	colStart []int
+	edges    []uint64
+	ready    []int
+}
+
+// grow returns (*p)[:n], reallocating only when capacity is short.
+// Contents are garbage; callers initialize what they read.
+func grow(p *[]int, n int) []int {
+	if cap(*p) < n {
+		*p = make([]int, n)
+	}
+	*p = (*p)[:n]
+	return *p
 }
 
 // New creates a graph holding the single sequence seq (a token-id slice).
@@ -38,6 +70,14 @@ func New(seq []int) *Graph {
 	g := &Graph{}
 	g.addPath(seq, nil)
 	return g
+}
+
+// scratch returns the graph's buffer set, allocating one on first use.
+func (g *Graph) scratch() *Scratch {
+	if g.sc == nil {
+		g.sc = &Scratch{}
+	}
+	return g.sc
 }
 
 // NumSequences returns how many sequences the graph holds.
@@ -93,34 +133,34 @@ func (g *Graph) addPath(seq []int, fuse []int) {
 	g.paths = append(g.paths, path)
 }
 
-// topoOrder returns node ids in a topological order. The graph is a DAG by
-// construction (every edge goes from an earlier alignment position to a
-// later one); a cycle would indicate a bug, so it panics loudly.
-func (g *Graph) topoOrder() []int {
-	indeg := make([]int, len(g.nodes))
+// topoOrder returns node ids in a topological order, valid until the next
+// call sharing sc. The graph is a DAG by construction (every edge goes
+// from an earlier alignment position to a later one); a cycle would
+// indicate a bug, so it panics loudly.
+func (g *Graph) topoOrder(sc *Scratch) []int {
+	indeg := grow(&sc.nodeDeg, len(g.nodes))
 	for i := range g.nodes {
 		indeg[i] = len(g.nodes[i].in)
 	}
-	queue := make([]int, 0, len(g.nodes))
+	// FIFO Kahn's algorithm with the output array doubling as the queue:
+	// order[k] is processed in append order, which reproduces the classic
+	// head-of-queue sequence. Deterministic because node and edge slices
+	// are iterated in insertion order (no map iteration anywhere).
+	order := grow(&sc.order, len(g.nodes))[:0]
 	for i, d := range indeg {
 		if d == 0 {
-			queue = append(queue, i)
+			order = append(order, i)
 		}
 	}
-	order := make([]int, 0, len(g.nodes))
-	// FIFO Kahn's algorithm: deterministic because node and edge slices
-	// are iterated in insertion order (no map iteration anywhere).
-	for len(queue) > 0 {
-		n := queue[0]
-		queue = queue[1:]
-		order = append(order, n)
-		for _, v := range g.nodes[n].out {
+	for k := 0; k < len(order); k++ {
+		for _, v := range g.nodes[order[k]].out {
 			indeg[v]--
 			if indeg[v] == 0 {
-				queue = append(queue, v)
+				order = append(order, v)
 			}
 		}
 	}
+	sc.order = order
 	if len(order) != len(g.nodes) {
 		panic(fmt.Sprintf("poa: graph has a cycle: ordered %d of %d nodes", len(order), len(g.nodes)))
 	}
@@ -147,16 +187,20 @@ func (g *Graph) Add(seq []int) {
 		g.addPath(seq, nil)
 		return
 	}
-	order := g.topoOrder()
-	rank := make([]int, len(g.nodes)) // node id -> position in order
+	sc := g.scratch()
+	order := g.topoOrder(sc)
+	rank := grow(&sc.rank, len(g.nodes)) // node id -> position in order
 	for r, id := range order {
 		rank[id] = r
 	}
 	m := len(seq)
 	width := m + 1
 	// cells[(r+1)*width + j]: best alignment of graph-prefix ending at
-	// order[r] with seq[:j]. Row 0 is the virtual start.
-	cells := make([]dpCell, (len(order)+1)*width)
+	// order[r] with seq[:j]. Row 0 is the virtual start. The buffer is
+	// reused across Adds, so row 0 (the only row read before written) is
+	// initialized explicitly, including the virtual-start cell.
+	cells := growCells(&sc.cells, (len(order)+1)*width)
+	cells[0] = dpCell{score: 0, move: moveNone, prevN: -1}
 	for j := 1; j <= m; j++ {
 		cells[j] = dpCell{score: int32(j), move: moveIns, prevN: -1}
 	}
@@ -231,7 +275,7 @@ func (g *Graph) Add(seq []int) {
 	// consistent variant at cost 0, so a mismatch here means no
 	// consistent sibling exists, and creating a new aligned node is the
 	// correct (and cycle-safe) move.
-	fuse := make([]int, m)
+	fuse := grow(&sc.fuse, m)
 	for i := range fuse {
 		fuse[i] = -1
 	}
@@ -281,6 +325,15 @@ func rankOf(n int32, rank []int) int {
 	return rank[n]
 }
 
+// growCells is grow for the dpCell buffer.
+func growCells(p *[]dpCell, n int) []dpCell {
+	if cap(*p) < n {
+		*p = make([]dpCell, n)
+	}
+	*p = (*p)[:n]
+	return *p
+}
+
 // Matrix flattens the graph into an alignment matrix: columns are the
 // aligned groups ordered topologically; each sequence row carries its
 // token in the columns its path visits and gaps elsewhere.
@@ -288,45 +341,68 @@ func (g *Graph) Matrix() *align.Matrix {
 	if len(g.nodes) == 0 {
 		return &align.Matrix{Rows: make([][]int, len(g.paths))}
 	}
-	order := g.topoOrder()
+	sc := g.scratch()
+	order := g.topoOrder(sc)
 	// Column order: contract each column (alignment ring) to a super-node
 	// and topologically sort the resulting column DAG. Ordering columns by
 	// node first-appearance alone is NOT sound: a substitution node with
 	// no predecessors (a variant at the start of its sequence) pops early
 	// in the node topo sort and would drag its whole column ahead of the
 	// columns its ring-mates depend on.
-	colRank := make(map[int]int) // column -> min node rank (tie-break)
+	//
+	// Column ids are dense (every id below g.columns was minted by newNode
+	// and owns at least that node), so the bookkeeping runs on flat slices
+	// indexed by column id rather than maps.
+	numCols := g.columns
+	colRank := grow(&sc.colRank, numCols) // column -> min node rank (tie-break)
+	for i := range colRank {
+		colRank[i] = -1
+	}
 	for r, id := range order {
 		c := g.nodes[id].column
-		if _, ok := colRank[c]; !ok {
+		if colRank[c] < 0 {
 			colRank[c] = r
 		}
 	}
-	type colEdge struct{ from, to int }
-	seenEdge := make(map[colEdge]bool)
-	indeg := make(map[int]int, len(colRank))
-	succ := make(map[int][]int, len(colRank))
-	for c := range colRank {
-		indeg[c] = 0
-	}
+	// Column edges packed as from<<32|to, sort-deduped: a CSR adjacency
+	// whose per-column runs are contiguous in the sorted slice.
+	edges := sc.edges[:0]
 	for u := range g.nodes {
 		cu := g.nodes[u].column
 		for _, v := range g.nodes[u].out {
-			cv := g.nodes[v].column
-			if cu == cv || seenEdge[colEdge{cu, cv}] {
-				continue
+			if cv := g.nodes[v].column; cu != cv {
+				edges = append(edges, uint64(cu)<<32|uint64(uint32(cv)))
 			}
-			seenEdge[colEdge{cu, cv}] = true
-			succ[cu] = append(succ[cu], cv)
-			indeg[cv]++
 		}
 	}
-	colIndex := make(map[int]int, len(colRank))
-	remaining := len(colRank)
-	ready := make([]int, 0, remaining)
-	//vet:ordered pickMin selects by colRank, which is unique per column, so ready's order is irrelevant
-	for c, d := range indeg {
-		if d == 0 {
+	slices.Sort(edges)
+	edges = slices.Compact(edges)
+	sc.edges = edges
+	indeg := grow(&sc.colDeg, numCols)
+	for i := range indeg {
+		indeg[i] = 0
+	}
+	colStart := grow(&sc.colStart, numCols+1)
+	for i := range colStart {
+		colStart[i] = len(edges)
+	}
+	for i := len(edges) - 1; i >= 0; i-- {
+		colStart[edges[i]>>32] = i
+		indeg[uint32(edges[i])]++
+	}
+	for c := numCols - 1; c >= 0; c-- {
+		if colStart[c] > colStart[c+1] {
+			colStart[c] = colStart[c+1]
+		}
+	}
+	colIndex := grow(&sc.colIndex, numCols)
+	for i := range colIndex {
+		colIndex[i] = -1
+	}
+	assigned := 0
+	ready := sc.ready[:0]
+	for c := 0; c < numCols; c++ {
+		if indeg[c] == 0 {
 			ready = append(ready, c)
 		}
 	}
@@ -344,33 +420,34 @@ func (g *Graph) Matrix() *align.Matrix {
 	for len(ready) > 0 {
 		var c int
 		c, ready = pickMin(ready)
-		colIndex[c] = len(colIndex)
-		remaining--
-		for _, v := range succ[c] {
+		colIndex[c] = assigned
+		assigned++
+		for e := colStart[c]; e < colStart[c+1]; e++ {
+			v := int(uint32(edges[e]))
 			indeg[v]--
 			if indeg[v] == 0 {
 				ready = append(ready, v)
 			}
 		}
 	}
-	if remaining > 0 {
+	sc.ready = ready
+	if assigned < numCols {
 		// A cycle in the column DAG can only arise from a pathological
 		// alignment-ring inconsistency; fall back to min-node-rank order
 		// for the leftover columns so output stays deterministic.
 		var leftover []int
-		//vet:ordered leftover is consumed via pickMin over unique colRank values, so accumulation order is irrelevant
-		for c := range colRank {
-			if _, done := colIndex[c]; !done {
+		for c := 0; c < numCols; c++ {
+			if colIndex[c] < 0 {
 				leftover = append(leftover, c)
 			}
 		}
 		for len(leftover) > 0 {
 			var c int
 			c, leftover = pickMin(leftover)
-			colIndex[c] = len(colIndex)
+			colIndex[c] = assigned
+			assigned++
 		}
 	}
-	numCols := len(colIndex)
 	mat := &align.Matrix{Rows: make([][]int, len(g.paths))}
 	for s, path := range g.paths {
 		row := make([]int, numCols)
@@ -388,10 +465,18 @@ func (g *Graph) Matrix() *align.Matrix {
 // Build is a convenience: aligns all seqs (first one seeds the graph) and
 // returns the flattened matrix.
 func Build(seqs [][]int) *align.Matrix {
+	return BuildWith(nil, seqs)
+}
+
+// BuildWith is Build with a caller-owned Scratch, so consecutive graphs
+// (InfoShield-Fine builds one per accepted candidate set) share DP and
+// topology buffers. A nil sc allocates per graph, like Build.
+func BuildWith(sc *Scratch, seqs [][]int) *align.Matrix {
 	if len(seqs) == 0 {
 		return &align.Matrix{}
 	}
 	g := New(seqs[0])
+	g.sc = sc
 	for _, s := range seqs[1:] {
 		g.Add(s)
 	}

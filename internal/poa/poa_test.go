@@ -233,3 +233,47 @@ func TestBuildEmpty(t *testing.T) {
 		t.Errorf("empty build: %dx%d", m.NumRows(), m.NumCols())
 	}
 }
+
+// TestBuildWithScratchMatchesBuild asserts scratch reuse changes
+// allocations only: graphs built back-to-back on one Scratch must be
+// identical to independently built ones, including after a larger
+// cluster has grown the buffers (stale contents must never leak).
+func TestBuildWithScratchMatchesBuild(t *testing.T) {
+	mk := func(n, l, vary int) [][]int {
+		seqs := make([][]int, n)
+		for s := range seqs {
+			seq := make([]int, l)
+			for i := range seq {
+				seq[i] = i
+			}
+			seq[s%l] = vary + s
+			seqs[s] = seq
+		}
+		return seqs
+	}
+	clusters := [][][]int{
+		mk(20, 25, 1000), // big first: grows the scratch
+		mk(3, 7, 500),    // then small: must not see stale cells
+		mk(12, 13, 900),
+		{{1, 2, 3}},
+		{},
+	}
+	sc := &Scratch{}
+	for ci, seqs := range clusters {
+		want := Build(seqs)
+		got := BuildWith(sc, seqs)
+		if len(got.Rows) != len(want.Rows) {
+			t.Fatalf("cluster %d: row count %d != %d", ci, len(got.Rows), len(want.Rows))
+		}
+		for r := range want.Rows {
+			if len(got.Rows[r]) != len(want.Rows[r]) {
+				t.Fatalf("cluster %d row %d: width %d != %d", ci, r, len(got.Rows[r]), len(want.Rows[r]))
+			}
+			for c := range want.Rows[r] {
+				if got.Rows[r][c] != want.Rows[r][c] {
+					t.Fatalf("cluster %d row %d col %d: %d != %d", ci, r, c, got.Rows[r][c], want.Rows[r][c])
+				}
+			}
+		}
+	}
+}

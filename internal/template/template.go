@@ -39,27 +39,64 @@ type Fit struct {
 
 	isCons []bool // per matrix column: part of the consensus?
 	pos    []int  // per matrix column: consensus position (pooling target)
+
+	// DataCost scratch: slot index maps and the per-row slot-word counts,
+	// reused across rows and Reset calls (DataCost is the inner loop of
+	// both the consensus search and slot detection).
+	insIdx, convIdx, slotWords []int
 }
 
 // New builds the consensus Sel(m, h): consensus positions are the matrix
 // columns whose majority token occurs more than h times. No slots yet.
 func New(m *align.Matrix, h int) *Fit {
-	f := &Fit{M: m}
+	f := &Fit{}
+	f.Reset(m, h)
+	return f
+}
+
+func growInts(p *[]int, n int) []int {
+	if cap(*p) < n {
+		*p = make([]int, n)
+	}
+	*p = (*p)[:n]
+	return *p
+}
+
+func growBools(p *[]bool, n int) []bool {
+	if cap(*p) < n {
+		*p = make([]bool, n)
+	}
+	*p = (*p)[:n]
+	return *p
+}
+
+// Reset rebuilds f as the consensus Sel(m, h) with no slots, reusing f's
+// buffers. Equivalent to *f = *New(m, h) without the allocations; the
+// dichotomous search calls this once per probed threshold.
+func (f *Fit) Reset(m *align.Matrix, h int) {
+	f.M = m
 	cols := m.NumCols()
-	f.isCons = make([]bool, cols)
-	f.pos = make([]int, cols)
+	f.isCons = growBools(&f.isCons, cols)
+	f.pos = growInts(&f.pos, cols)
+	f.Cols = f.Cols[:0]
+	f.Tokens = f.Tokens[:0]
 	for c := 0; c < cols; c++ {
 		tok, cnt, ok := m.Majority(c)
 		f.pos[c] = len(f.Cols) // pooling target: next consensus position
-		if ok && cnt > h {
-			f.isCons[c] = true
+		f.isCons[c] = ok && cnt > h
+		if f.isCons[c] {
 			f.Cols = append(f.Cols, c)
 			f.Tokens = append(f.Tokens, tok)
 		}
 	}
-	f.Slots = make([]bool, len(f.Cols))
-	f.InsSlots = make([]bool, len(f.Cols)+1)
-	return f
+	f.Slots = growBools(&f.Slots, len(f.Cols))
+	for i := range f.Slots {
+		f.Slots[i] = false
+	}
+	f.InsSlots = growBools(&f.InsSlots, len(f.Cols)+1)
+	for i := range f.InsSlots {
+		f.InsSlots[i] = false
+	}
 }
 
 // Len returns the template length l_i: consensus positions plus
@@ -101,8 +138,8 @@ func (f *Fit) TemplateStats() mdl.TemplateStats {
 // template reading order.
 func (f *Fit) slotIndex() (insIdx, convIdx []int, total int) {
 	nc := len(f.Cols)
-	insIdx = make([]int, nc+1)
-	convIdx = make([]int, nc)
+	insIdx = growInts(&f.insIdx, nc+1)
+	convIdx = growInts(&f.convIdx, nc)
 	for x := 0; x <= nc; x++ {
 		insIdx[x] = -1
 		if f.InsSlots[x] {
@@ -131,7 +168,16 @@ func (f *Fit) slotIndex() (insIdx, convIdx []int, total int) {
 // token at a convert-slot position is likewise slot content.
 func (f *Fit) DocStats(row int) mdl.AlignStats {
 	insIdx, convIdx, total := f.slotIndex()
-	slotWords := make([]int, total)
+	return f.docStats(row, insIdx, convIdx, make([]int, total))
+}
+
+// docStats is DocStats against a caller-provided (cleared here) slotWords
+// buffer and the precomputed slot index maps — the allocation-free inner
+// loop of DataCost. The returned stats alias slotWords.
+func (f *Fit) docStats(row int, insIdx, convIdx, slotWords []int) mdl.AlignStats {
+	for i := range slotWords {
+		slotWords[i] = 0
+	}
 	stats := mdl.AlignStats{}
 	r := f.M.Rows[row]
 	nc := len(f.Cols)
@@ -176,9 +222,11 @@ func (f *Fit) DocStats(row int) mdl.AlignStats {
 // DataCost returns C(Di | this template): the summed per-document cost of
 // every row, assuming numTemplates templates exist in the model.
 func (f *Fit) DataCost(numTemplates, vocabSize int) float64 {
+	insIdx, convIdx, slots := f.slotIndex()
+	slotWords := growInts(&f.slotWords, slots)
 	total := 0.0
 	for row := range f.M.Rows {
-		total += mdl.DataCostMatched(f.DocStats(row), numTemplates, vocabSize)
+		total += mdl.DataCostMatched(f.docStats(row, insIdx, convIdx, slotWords), numTemplates, vocabSize)
 	}
 	return total
 }
@@ -197,14 +245,17 @@ func (f *Fit) TotalCost(numTemplates, vocabSize int) float64 {
 // threshold h* in [0, n-1] minimizing C(Di|Sel(A,h)), returning the fit at
 // h*. numTemplates is the current model's template count (for lg t terms).
 func ConsensusSearch(m *align.Matrix, numTemplates, vocabSize int) *Fit {
+	f := New(m, 0)
 	n := m.NumRows()
 	if n == 0 {
-		return New(m, 0)
+		return f
 	}
 	h := search.Dichotomous(0, n-1, func(h int) float64 {
-		return New(m, h).TotalCost(numTemplates, vocabSize)
+		f.Reset(m, h)
+		return f.TotalCost(numTemplates, vocabSize)
 	})
-	return New(m, h)
+	f.Reset(m, h)
+	return f
 }
 
 // pools returns, per gap x in [0, len(Cols)], the number of insertion

@@ -2,11 +2,39 @@ package infoshield
 
 import (
 	"bytes"
+	"fmt"
 	"reflect"
+	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"infoshield/internal/datagen"
 )
+
+// skewedTexts builds the cluster-size distribution the paper's
+// Cluster-Trafficking data exhibits (Fig. 3): one mega spam campaign that
+// dominates fine-pass wall clock, many small campaigns, and unclusterable
+// background noise. Shared by the determinism/goroutine tests and the
+// BenchmarkFineSkewed straggler benchmark.
+func skewedTexts() []string {
+	var texts []string
+	for i := 0; i < 260; i++ {
+		texts = append(texts, fmt.Sprintf(
+			"mega sale best deals call now 555-01%02d visit mega.example promo%d today", i%100, i))
+	}
+	for g := 0; g < 60; g++ {
+		for k := 0; k < 4; k++ {
+			texts = append(texts, fmt.Sprintf(
+				"alpha%d beta%d gamma%d delta%d epsilon%d offer %d ships fast", g, g, g, g, g, k))
+		}
+	}
+	for i := 0; i < 40; i++ {
+		texts = append(texts, fmt.Sprintf(
+			"bg%da bg%db bg%dc bg%dd bg%de bg%df bg%dg bg%dh", i, i, i, i, i, i, i, i))
+	}
+	return texts
+}
 
 // TestDetectWorkersEquivalence is the parallelism correctness gate: on a
 // realistic mixed corpus (the Twitter datagen set: genuine accounts plus
@@ -68,6 +96,76 @@ func TestDetectWorkersEquivalence(t *testing.T) {
 	}
 }
 
+// TestDetectSkewedWorkersEquivalence re-runs the byte-identity gate on
+// the skewed corpus, where the nested screening fan-out actually fires:
+// the mega-cluster's per-round neighbor list is large enough to borrow
+// idle workers, so this covers the intra-cluster parallel path the
+// Twitter corpus's smaller clusters may not reach.
+func TestDetectSkewedWorkersEquivalence(t *testing.T) {
+	texts := skewedTexts()
+
+	ref := Detect(texts, Config{Workers: 1})
+	got := Detect(texts, Config{Workers: 8})
+
+	if !reflect.DeepEqual(got.Clusters(), ref.Clusters()) {
+		t.Error("Clusters() differ between Workers:1 and Workers:8 on skewed corpus")
+	}
+	if !reflect.DeepEqual(got.DocTemplate(), ref.DocTemplate()) {
+		t.Error("DocTemplate() differs between Workers:1 and Workers:8 on skewed corpus")
+	}
+	var refText, gotText bytes.Buffer
+	ref.WriteText(&refText)
+	got.WriteText(&gotText)
+	if !bytes.Equal(gotText.Bytes(), refText.Bytes()) {
+		t.Error("WriteText output differs between Workers:1 and Workers:8 on skewed corpus")
+	}
+	if ref.NumTemplates() == 0 {
+		t.Fatal("skewed corpus produced no templates; the gate is vacuous")
+	}
+}
+
+// TestFineGoroutineBound is the regression gate for the worker-pool
+// rewrite: the old fine stage spawned one goroutine per coarse cluster
+// up front (hundreds parked behind a semaphore on corpora like this
+// one); the pool must keep the process's goroutine count O(Workers)
+// throughout the run.
+func TestFineGoroutineBound(t *testing.T) {
+	texts := skewedTexts() // ~60 coarse clusters
+	const workers = 2
+	base := runtime.NumGoroutine()
+
+	var peak atomic.Int64
+	done := make(chan struct{})
+	sampled := make(chan struct{})
+	go func() {
+		defer close(sampled)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if n := int64(runtime.NumGoroutine()); n > peak.Load() {
+				peak.Store(n)
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+	}()
+	Detect(texts, Config{Workers: workers})
+	close(done)
+	<-sampled
+
+	// Budget: the pool's `workers` goroutines, the sampler itself, the
+	// nested screening fan-out (bounded by the same budget), and a little
+	// slack for runtime/test goroutines. The old goroutine-per-cluster
+	// code peaks ~60 above base here and fails by a wide margin.
+	extra := peak.Load() - int64(base)
+	if extra > workers+12 {
+		t.Errorf("goroutine peak %d above baseline (want <= Workers+12 = %d): fine stage is not O(Workers)",
+			extra, workers+12)
+	}
+}
+
 // TestTimingsPopulated checks the new stage timings are wired through.
 func TestTimingsPopulated(t *testing.T) {
 	c := datagen.Twitter(datagen.TwitterConfig{Seed: 2, GenuineAccounts: 5, BotAccounts: 5})
@@ -81,5 +179,14 @@ func TestTimingsPopulated(t *testing.T) {
 	}
 	if tm.Tokenize+tm.CoarseExtract+tm.CoarseScore+tm.CoarseComponents > tm.Coarse {
 		t.Errorf("stages exceed coarse total: %+v", tm)
+	}
+	if res.NumTemplates() == 0 {
+		t.Fatal("corpus produced no templates; fine-stage timing checks are vacuous")
+	}
+	if tm.FineScreen <= 0 || tm.FineAlign <= 0 || tm.FineConsensus <= 0 || tm.FineSlots <= 0 {
+		t.Errorf("fine stage timings not recorded: %+v", tm)
+	}
+	if tm.Fine <= 0 {
+		t.Errorf("fine duration not recorded: %+v", tm)
 	}
 }

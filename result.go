@@ -110,6 +110,13 @@ type Timings struct {
 	// counting; CoarseScore the tf-idf scoring and top-phrase selection;
 	// CoarseComponents the phrase graph and connected components.
 	CoarseExtract, CoarseScore, CoarseComponents time.Duration
+	// FineScreen covers candidate screening (overlap bound plus the
+	// conditional-alignment test); FineAlign the MSA construction;
+	// FineConsensus the consensus search; FineSlots slot detection.
+	// Fine-stage durations are summed across concurrent cluster workers,
+	// so with Workers > 1 they measure aggregate CPU time and may exceed
+	// the Fine wall-clock total.
+	FineScreen, FineAlign, FineConsensus, FineSlots time.Duration
 	// Coarse and Fine are the two pipeline halves' totals.
 	Coarse, Fine time.Duration
 }
@@ -117,11 +124,16 @@ type Timings struct {
 // Timings returns the stage durations of the run that produced r.
 func (r *Result) Timings() Timings {
 	s := r.res.CoarseStages
+	f := r.res.FineStages
 	return Timings{
 		Tokenize:         s.Tokenize,
 		CoarseExtract:    s.Extract,
 		CoarseScore:      s.Score,
 		CoarseComponents: s.Components,
+		FineScreen:       f.Screen,
+		FineAlign:        f.Align,
+		FineConsensus:    f.Consensus,
+		FineSlots:        f.Slots,
 		Coarse:           r.res.CoarseDuration,
 		Fine:             r.res.FineDuration,
 	}
