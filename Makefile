@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test build vet race fuzz bench bench-coarse bench-json bench-all experiments
+.PHONY: check test build vet race fuzz fuzz-stream bench bench-coarse bench-json bench-all experiments
 
 ## check: the full gate — vet (go vet + infoshield-vet), build, and
 ## race-enabled tests.
@@ -30,6 +30,12 @@ race:
 fuzz:
 	$(GO) test -fuzz FuzzDetectDeterminism -fuzztime 30s .
 
+## fuzz-stream: a bounded burst of the streaming serve-path fuzzer
+## (interleaved Add / AddBatch / Flush / persist round-trips, serial vs
+## batched-parallel equivalence).
+fuzz-stream:
+	$(GO) test -fuzz FuzzStreamOps -fuzztime 30s ./internal/stream
+
 ## bench: the end-to-end pipeline benchmark at both corpus sizes,
 ## repeated for stable numbers.
 bench:
@@ -40,14 +46,17 @@ bench:
 bench-coarse:
 	$(GO) test -bench='Coarse|TopPhrase' -benchmem -run '^$$'
 
-## bench-json: the coarse, fine, and end-to-end benchmarks archived as
-## machine-readable JSON via cmd/benchjson (plus the raw text). CI runs
-## this with BENCH_COUNT=1 and uploads BENCH_fine.json as an artifact;
-## use the default count locally for stable numbers.
+## bench-json: the coarse, fine, end-to-end, and streaming benchmarks
+## archived as machine-readable JSON via cmd/benchjson (plus the raw
+## text). CI runs this with BENCH_COUNT=1 and uploads BENCH_fine.json and
+## BENCH_stream.json as artifacts; use the default count locally for
+## stable numbers.
 BENCH_COUNT ?= 5
 bench-json:
 	$(GO) test -bench='Coarse|Fine|PipelineEndToEnd' -benchmem -count=$(BENCH_COUNT) -run '^$$' > BENCH_fine.txt
 	$(GO) run ./cmd/benchjson -o BENCH_fine.json < BENCH_fine.txt
+	$(GO) test -bench='StreamAdd' -benchmem -count=$(BENCH_COUNT) -run '^$$' > BENCH_stream.txt
+	$(GO) run ./cmd/benchjson -o BENCH_stream.json < BENCH_stream.txt
 
 bench-all:
 	$(GO) test -bench=. -benchmem -run '^$$'

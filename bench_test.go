@@ -296,6 +296,72 @@ func BenchmarkStreamDetector(b *testing.B) {
 	}
 }
 
+// seedStreamTemplates mines `campaigns` distinct templates into s by
+// flushing one strongly-templated near-duplicate cluster per campaign
+// (entirely disjoint vocabularies, so the coarse pass cannot merge them).
+// It returns a probe text that matches campaign 0.
+func seedStreamTemplates(b *testing.B, s *StreamDetector, campaigns int) string {
+	b.Helper()
+	var docs []string
+	for c := 0; c < campaigns; c++ {
+		for i := 0; i < 8; i++ {
+			docs = append(docs, fmt.Sprintf(
+				"promo%03da alpha%03db beta%03dc gamma%03dd delta%03de epsilon%03df visit site%03d-%02d.example now",
+				c, c, c, c, c, c, c, i))
+		}
+	}
+	s.AddBatch(docs)
+	s.Flush()
+	if got := s.NumTemplates(); got < campaigns*9/10 {
+		b.Fatalf("seeded only %d/%d templates", got, campaigns)
+	}
+	return "promo000a alpha000b beta000c gamma000d delta000e epsilon000f visit site000-99.example now"
+}
+
+// BenchmarkStreamAdd measures the steady-state per-document serving cost
+// with many mined templates — the regime where the detector has succeeded
+// and every incoming document must be screened against hundreds of
+// campaigns (the inverted-index pruning path's reason to exist).
+func BenchmarkStreamAdd(b *testing.B) {
+	s := NewStreamDetector(Config{}, 1<<30)
+	probe := seedStreamTemplates(b, s, 220)
+	before := s.Stats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(probe)
+	}
+	b.StopTimer()
+	st := s.Stats()
+	if c := st.Candidates - before.Candidates; c > 0 {
+		b.ReportMetric(float64(st.DPPruned-before.DPPruned)/float64(c), "dpskip/candidate")
+	}
+}
+
+// BenchmarkStreamAddBatch sweeps the batched serving path's worker pool
+// at the same many-templates steady state.
+func BenchmarkStreamAddBatch(b *testing.B) {
+	const batch = 64
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s := NewStreamDetector(Config{Workers: workers}, 1<<30)
+			seedStreamTemplates(b, s, 220)
+			texts := make([]string, batch)
+			for i := range texts {
+				c := i % 220
+				texts[i] = fmt.Sprintf(
+					"promo%03da alpha%03db beta%03dc gamma%03dd delta%03de epsilon%03df visit site%03d-%02d.example now",
+					c, c, c, c, c, c, c, 90+i%10)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.AddBatch(texts)
+			}
+		})
+	}
+}
+
 // BenchmarkTokenizer measures raw tokenization throughput.
 func BenchmarkTokenizer(b *testing.B) {
 	var tk tokenize.Tokenizer

@@ -24,10 +24,10 @@ import (
 )
 
 type result struct {
-	Name       string  `json:"name"`
-	Iters      int64   `json:"iters"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 	// Extra holds any benchmark metric beyond the standard three
 	// (e.g. MB/s from SetBytes, or custom ReportMetric units).

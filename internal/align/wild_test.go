@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"testing"
 	"testing/quick"
+
+	"infoshield/internal/mdl"
 )
 
 func TestPairwiseWildMatchesAnywhere(t *testing.T) {
@@ -72,6 +74,77 @@ func TestPairwiseWildScriptReconstructs(t *testing.T) {
 		return reflect.DeepEqual(got, doc) || (len(doc) == 0 && len(got) == 0)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the stats-only pooled wildcard aligner reproduces
+// PairwiseWild's operation counts exactly — same scores, same tie-break —
+// so every MDL cost derived from it is bit-identical.
+func TestPairwiseWildScratchMatchesPairwiseWild(t *testing.T) {
+	var sc Scratch
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ref := randSeq(rng, 14, 5)
+		doc := randSeq(rng, 14, 5)
+		wild := make([]bool, len(ref))
+		for i := range wild {
+			wild[i] = rng.Intn(3) == 0
+		}
+		want := PairwiseWild(ref, wild, doc)
+		got := PairwiseWildScratch(ref, wild, doc, &sc)
+		return got.Matches == want.Matches && got.Subs == want.Subs &&
+			got.Inss == want.Inss && got.Dels == want.Dels
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the wildcard-template lower bound never exceeds the exact
+// matched cost computed from the PairwiseWild alignment — the invariant
+// that makes the streaming detector's DP pruning verdict-preserving.
+func TestWildConditionalLowerBoundAdmissible(t *testing.T) {
+	V := 1 << 12
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ref := randSeq(rng, 15, 6)
+		doc := randSeq(rng, 15, 6)
+		if len(ref) == 0 || len(doc) == 0 {
+			return true
+		}
+		wild := make([]bool, len(ref))
+		slots := 0
+		for i := range wild {
+			if rng.Intn(3) == 0 {
+				wild[i] = true
+				slots++
+			}
+		}
+		// Constant-token multiset overlap: slots excluded from the counts.
+		consts := make([]int, 0, len(ref))
+		for i, tok := range ref {
+			if !wild[i] {
+				consts = append(consts, tok)
+			}
+		}
+		slotWords := make([]int, slots)
+		for i := range slotWords {
+			slotWords[i] = 1
+		}
+		numT := 1 + rng.Intn(8)
+		a := PairwiseWild(ref, wild, doc)
+		exact := mdl.DataCostMatched(mdl.AlignStats{
+			AlignLen:   a.Len(),
+			Unmatched:  a.Distance(),
+			AddedWords: a.Subs + a.Inss,
+			SlotWords:  slotWords,
+		}, numT, V)
+		bound := WildConditionalLowerBound(len(ref), len(doc),
+			Overlap(TokenCounts(consts), doc), slotWords, numT, V)
+		return bound <= exact
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
 		t.Error(err)
 	}
 }

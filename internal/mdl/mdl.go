@@ -148,6 +148,18 @@ const opTypeBits = 2
 // out of t templates:
 //
 //	1 (template flag) + lg t + ⟨l̂⟩ + l̂ + e·(lg l̂ + 2) + u·lg V + Σ_j S(w_j)
+//
+// Monotonicity contract (relied on by align.ConditionalLowerBound and
+// align.WildConditionalLowerBound, pinned by TestDataCostMatchedMonotone):
+// with the other fields held fixed, the cost is nondecreasing in each of
+// AlignLen, Unmatched, and AddedWords — every term is a product of
+// nonnegative factors that are themselves nondecreasing in those fields
+// (Universal and LgInt are nondecreasing, including across the lookup-
+// table boundary). Because the bounds evaluate this very function at
+// componentwise-dominated stats with the identical summation order, the
+// inequality survives floating-point rounding: fl(·) is monotone, so a
+// termwise-dominated sum over the same expression tree cannot come out
+// larger.
 func DataCostMatched(a AlignStats, numTemplates, vocabSize int) float64 {
 	cost := 1 + LgInt(numTemplates) +
 		Universal(a.AlignLen) + float64(a.AlignLen) +

@@ -301,3 +301,49 @@ func TestLookupTablesMatchDirect(t *testing.T) {
 		check(n)
 	}
 }
+
+// TestDataCostMatchedMonotone pins the monotonicity contract the
+// streaming detector's admissible pruning bounds rely on: the matched
+// data cost is nondecreasing in each of AlignLen, Unmatched, and
+// AddedWords, including across the lookup-table boundary, and a
+// componentwise-dominated stats vector never costs more — in floating
+// point, not just in exact arithmetic.
+func TestDataCostMatchedMonotone(t *testing.T) {
+	const V = 1 << 14
+	base := []AlignStats{
+		{AlignLen: 1},
+		{AlignLen: 7, Unmatched: 2, AddedWords: 1},
+		{AlignLen: 30, Unmatched: 12, AddedWords: 9, SlotWords: []int{1, 1, 1}},
+		{AlignLen: lgTabSize - 1, Unmatched: 5, AddedWords: 5},
+		{AlignLen: lgTabSize + 3, Unmatched: 5, AddedWords: 5},
+	}
+	bump := []func(AlignStats) AlignStats{
+		func(a AlignStats) AlignStats { a.AlignLen++; return a },
+		func(a AlignStats) AlignStats { a.Unmatched++; return a },
+		func(a AlignStats) AlignStats { a.AddedWords++; return a },
+		func(a AlignStats) AlignStats { a.AlignLen += lgTabSize; return a },
+	}
+	for _, numT := range []int{1, 3, 200} {
+		for _, a := range base {
+			was := DataCostMatched(a, numT, V)
+			for bi, f := range bump {
+				if got := DataCostMatched(f(a), numT, V); got < was {
+					t.Errorf("bump %d on %+v (t=%d): cost fell %v -> %v", bi, a, numT, was, got)
+				}
+			}
+		}
+	}
+	// Randomized componentwise domination.
+	f := func(l, e, u, dl, de, du uint8) bool {
+		lo := AlignStats{AlignLen: int(l) + 1, Unmatched: int(e), AddedWords: int(u)}
+		hi := AlignStats{
+			AlignLen:   lo.AlignLen + int(dl),
+			Unmatched:  lo.Unmatched + int(de),
+			AddedWords: lo.AddedWords + int(du),
+		}
+		return DataCostMatched(lo, 5, V) <= DataCostMatched(hi, 5, V)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

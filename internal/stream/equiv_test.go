@@ -1,0 +1,292 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"infoshield/internal/align"
+	"infoshield/internal/core"
+	"infoshield/internal/mdl"
+	"infoshield/internal/tokenize"
+)
+
+// referenceMatch is the retained pre-index reference scan: the full
+// PairwiseWild DP against every template with the per-probe slot-word
+// rebuild, exactly as the serving path worked before candidate pruning,
+// pooled alignment, and canned SlotWords. The equivalence gate below
+// checks the rebuilt path (bound + scratch DP + registration-time
+// SlotWords) probe-by-probe against this, which also asserts the
+// satellite refactor — SlotWords precomputed once at registration —
+// changed no cost.
+func referenceMatch(d *Detector, toks []int) int {
+	if len(toks) == 0 || len(d.templates) == 0 {
+		return -1
+	}
+	V := d.vocab.Size()
+	standalone := mdl.DocCost(len(toks), V)
+	best, bestCost := -1, standalone
+	numT := len(d.templates)
+	for ti := range d.templates {
+		t := &d.templates[ti]
+		a := align.PairwiseWild(t.Tokens, t.Wild, toks)
+		slotWords := make([]int, 0, 4)
+		for _, w := range t.Wild {
+			if w {
+				slotWords = append(slotWords, 1)
+			}
+		}
+		cost := mdl.DataCostMatched(mdl.AlignStats{
+			AlignLen:   a.Len(),
+			Unmatched:  a.Distance(),
+			AddedWords: a.Subs + a.Inss,
+			SlotWords:  slotWords,
+		}, numT, V)
+		if cost < bestCost {
+			best, bestCost = ti, cost
+		}
+	}
+	return best
+}
+
+// randomStreamCorpus mixes campaign near-duplicates, mutated campaign
+// variants, and unique-word noise — the shapes that exercise match,
+// buffer, and flush paths.
+func randomStreamCorpus(rng *rand.Rand, n int) []string {
+	families := []string{
+		"limited offer buy the premium golden package today visit",
+		"hot deal super cheap flights to sunny islands call agent",
+		"brand new luxury watches heavy discount original box ship",
+		"work from home earn serious money weekly no experience",
+	}
+	docs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(5) {
+		case 0, 1:
+			f := families[rng.Intn(len(families))]
+			docs = append(docs, fmt.Sprintf("%s site%04d.example now", f, rng.Intn(3000)))
+		case 2:
+			// Mutated campaign member: a word dropped or replaced.
+			f := families[rng.Intn(len(families))]
+			words := []byte(f)
+			if rng.Intn(2) == 0 && len(words) > 10 {
+				cut := 5 + rng.Intn(len(words)-10)
+				words = append(words[:cut], words[cut+1:]...)
+			}
+			docs = append(docs, fmt.Sprintf("%s extra%d token%d", string(words), rng.Intn(40), rng.Intn(40)))
+		default:
+			k := rng.Intn(1 << 20)
+			docs = append(docs, fmt.Sprintf("nq%da nq%db nq%dc nq%dd nq%de nq%df", k, k, k, k, k, k))
+		}
+	}
+	return docs
+}
+
+// compareDetectors fails the test unless a and b agree on every piece of
+// caller-visible state: assignments, template order and contents,
+// DocCounts, and the pending buffer.
+func compareDetectors(t *testing.T, label string, a, b *Detector) {
+	t.Helper()
+	if !reflect.DeepEqual(a.assignments, b.assignments) {
+		t.Fatalf("%s: assignments differ", label)
+	}
+	if len(a.templates) != len(b.templates) {
+		t.Fatalf("%s: template counts %d vs %d", label, len(a.templates), len(b.templates))
+	}
+	for ti := range a.templates {
+		at, bt := &a.templates[ti], &b.templates[ti]
+		if !reflect.DeepEqual(at.Tokens, bt.Tokens) || !reflect.DeepEqual(at.Wild, bt.Wild) ||
+			at.DocCount != bt.DocCount || !reflect.DeepEqual(at.SlotWords, bt.SlotWords) {
+			t.Fatalf("%s: template %d differs: %+v vs %+v", label, ti, at, bt)
+		}
+	}
+	if !reflect.DeepEqual(a.pendingIDs, b.pendingIDs) || !reflect.DeepEqual(a.pendingTexts, b.pendingTexts) {
+		t.Fatalf("%s: pending buffers differ", label)
+	}
+	if !reflect.DeepEqual(a.pendingSet, b.pendingSet) {
+		t.Fatalf("%s: pending sets differ", label)
+	}
+}
+
+// TestStreamPruningEquivalence drives the indexed serving path against
+// (1) the same scan with pruning disabled and (2) the retained reference
+// scan, over randomized corpora with interleaved flushes. Assignments,
+// template order, and DocCounts must be byte-identical: the lower bound
+// may only skip templates that provably cannot win.
+func TestStreamPruningEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		docs := randomStreamCorpus(rng, 400)
+
+		pruned := New(core.Options{})
+		pruned.BatchSize = 1 << 30
+		full := New(core.Options{})
+		full.BatchSize = 1 << 30
+		full.noPrune = true
+
+		var tk tokenize.Tokenizer
+		var scratch matchScratch
+		var probeStats Stats
+		for i, text := range docs {
+			// Intercept the pruned detector's verdict before committing it,
+			// so it can be checked against the reference scan on the very
+			// same state.
+			toks := pruned.vocab.Encode(tk.Tokens(text))
+			verdict := pruned.match(toks, pruned.vocab.Size(), &scratch, &probeStats)
+			if ref := referenceMatch(pruned, toks); verdict != ref {
+				t.Fatalf("seed %d doc %d: indexed verdict %d != reference %d (templates=%d)",
+					seed, i, verdict, ref, pruned.NumTemplates())
+			}
+			pruned.apply(text, verdict)
+			full.Add(text)
+			if i == len(docs)/3 || i == 2*len(docs)/3 {
+				pruned.Flush()
+				full.Flush()
+			}
+		}
+		pruned.Flush()
+		full.Flush()
+		compareDetectors(t, fmt.Sprintf("seed %d", seed), pruned, full)
+
+		// The bound must have done real work on this corpus, and every
+		// candidate is either pruned or aligned — never both, never neither.
+		if probeStats.DPPruned+probeStats.DPRuns != probeStats.Candidates {
+			t.Fatalf("seed %d: pruned %d + runs %d != candidates %d",
+				seed, probeStats.DPPruned, probeStats.DPRuns, probeStats.Candidates)
+		}
+		if probeStats.Candidates > 0 && probeStats.DPPruned == 0 {
+			t.Errorf("seed %d: lower bound never pruned a candidate", seed)
+		}
+	}
+}
+
+// TestStreamWorkersEquivalence checks AddBatch output — assignments,
+// templates, DocCounts, pending state, and serving stats — is identical
+// for workers ∈ {1, 2, 4, 8} and identical to a serial Add loop,
+// including flushes that fire mid-batch (BatchSize 64 over 400 docs).
+func TestStreamWorkersEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	docs := randomStreamCorpus(rng, 400)
+
+	serial := New(core.Options{Workers: 1})
+	serial.BatchSize = 64
+	var serialIDs []int
+	for _, text := range docs {
+		serialIDs = append(serialIDs, serial.Add(text))
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		d := New(core.Options{Workers: workers})
+		d.BatchSize = 64
+		// Split the corpus into a few AddBatch calls so batches both span
+		// and straddle flush boundaries.
+		var ids []int
+		for lo := 0; lo < len(docs); lo += 150 {
+			hi := lo + 150
+			if hi > len(docs) {
+				hi = len(docs)
+			}
+			ids = append(ids, d.AddBatch(docs[lo:hi])...)
+		}
+		if !reflect.DeepEqual(ids, serialIDs) {
+			t.Fatalf("workers=%d: ids differ", workers)
+		}
+		compareDetectors(t, fmt.Sprintf("workers=%d", workers), serial, d)
+		if got, want := d.Stats(), serial.Stats(); got != want {
+			t.Fatalf("workers=%d: stats %+v != serial %+v", workers, got, want)
+		}
+	}
+}
+
+// fuzzStreamDocs turns one fuzz input into a bounded document list.
+func fuzzStreamDocs(data string) []string {
+	const maxDocs, maxLen = 16, 80
+	var texts []string
+	start := 0
+	for i := 0; i <= len(data) && len(texts) < maxDocs; i++ {
+		if i == len(data) || data[i] == '\n' {
+			line := data[start:i]
+			if len(line) > maxLen {
+				line = line[:maxLen]
+			}
+			texts = append(texts, line)
+			start = i + 1
+		}
+	}
+	return texts
+}
+
+// FuzzStreamOps drives interleaved Add / AddBatch / Flush / persist
+// round-trips on two detectors — one fed serially, one in batches with
+// Workers: 4 — and requires identical verdicts, templates, and stats at
+// every step. This generalizes the two equivalence gates above from
+// pinned corpora to arbitrary interleavings.
+func FuzzStreamOps(f *testing.F) {
+	f.Add("big sale call now 555-0101\nbig sale call now 555-0102\nbig sale call now 555-0103\nunrelated chatter", uint32(0b10110))
+	f.Add("a b c d e\na b c d e\na b x d e\nnoise one two", uint32(0xffff))
+	f.Add("", uint32(1))
+	f.Fuzz(func(t *testing.T, data string, schedule uint32) {
+		texts := fuzzStreamDocs(data)
+		if len(texts) == 0 {
+			t.Skip("no docs")
+		}
+		a := New(core.Options{})
+		a.BatchSize = 4
+		b := New(core.Options{Workers: 4})
+		b.BatchSize = 4
+
+		roundTrip := func(d *Detector) *Detector {
+			d.Flush() // Save persists templates only; drain the buffer first
+			var buf bytes.Buffer
+			if err := d.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			fresh := New(d.Options)
+			fresh.BatchSize = d.BatchSize
+			if err := fresh.Load(&buf); err != nil {
+				t.Fatal(err)
+			}
+			return fresh
+		}
+
+		step := 0
+		for i := 0; i < len(texts); {
+			k := 1 + int(schedule>>(uint(step*3)%29)&3)
+			if i+k > len(texts) {
+				k = len(texts) - i
+			}
+			chunk := texts[i : i+k]
+			var aIDs []int
+			for _, tx := range chunk {
+				aIDs = append(aIDs, a.Add(tx))
+			}
+			bIDs := b.AddBatch(chunk)
+			if !reflect.DeepEqual(aIDs, bIDs) {
+				t.Fatalf("step %d: ids %v vs %v", step, aIDs, bIDs)
+			}
+			for _, id := range aIDs {
+				if av, bv := a.Assignment(id), b.Assignment(id); av != bv {
+					t.Fatalf("step %d doc %d: %+v vs %+v", step, id, av, bv)
+				}
+			}
+			switch schedule >> (uint(step) % 31) & 3 {
+			case 1:
+				a.Flush()
+				b.Flush()
+			case 2:
+				a = roundTrip(a)
+				b = roundTrip(b)
+			}
+			i += k
+			step++
+		}
+		a.Flush()
+		b.Flush()
+		compareDetectors(t, "final", a, b)
+		if a.Stats() != b.Stats() {
+			t.Fatalf("stats %+v vs %+v", a.Stats(), b.Stats())
+		}
+	})
+}

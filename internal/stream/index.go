@@ -1,0 +1,167 @@
+package stream
+
+import (
+	"infoshield/internal/align"
+	"infoshield/internal/mdl"
+)
+
+// posting is one inverted-index entry: a template that contains a given
+// constant token, with the token's multiset count among the template's
+// constants (so a probe can accumulate exact multiset overlaps without
+// touching per-template count maps).
+type posting struct {
+	template int
+	count    int
+}
+
+// tmplIndex is the candidate-pruning index over the mined template set:
+// constant-token id → the templates containing that token. A probe walks
+// the postings of its own (distinct) tokens to accumulate, per template,
+// the multiset overlap between the template's constants and the document
+// — the quantity align.WildConditionalLowerBound turns into an admissible
+// lower bound on the matched cost, letting the detector skip the O(l²)
+// wildcard DP for templates that provably cannot win. Postings lists are
+// appended at registration time only, so each list is ascending in
+// template index and the index is read-only during (possibly concurrent)
+// matching.
+type tmplIndex struct {
+	postings map[int][]posting
+}
+
+// add registers template ti's constant-token multiset. Wild positions are
+// excluded: a slot's consensus token is matching decoration, not a
+// constant the document must supply.
+func (ix *tmplIndex) add(ti int, t *Template) {
+	if ix.postings == nil {
+		ix.postings = make(map[int][]posting)
+	}
+	counts := make(map[int]int, len(t.Tokens))
+	order := make([]int, 0, len(t.Tokens)) // first-occurrence order, not map order
+	for i, tok := range t.Tokens {
+		if t.Wild[i] {
+			continue
+		}
+		if counts[tok] == 0 {
+			order = append(order, tok)
+		}
+		counts[tok]++
+	}
+	for _, tok := range order {
+		ix.postings[tok] = append(ix.postings[tok], posting{template: ti, count: counts[tok]})
+	}
+}
+
+// Stats counts the serving path's matching work since the detector was
+// created — the streaming analogue of Result.Timings()'s stage breakdown,
+// exposing how effective the index pruning is (DPPruned / Candidates is
+// the DP-skip rate).
+type Stats struct {
+	// Probes counts documents tested against a non-empty template set.
+	Probes int
+	// Candidates counts template candidates considered across all probes
+	// (Σ per-probe template-set size).
+	Candidates int
+	// DPRuns counts full wildcard-alignment DPs executed.
+	DPRuns int
+	// DPPruned counts candidates skipped because their admissible lower
+	// bound already reached the best cost found so far.
+	DPPruned int
+}
+
+func (s *Stats) add(o Stats) {
+	s.Probes += o.Probes
+	s.Candidates += o.Candidates
+	s.DPRuns += o.DPRuns
+	s.DPPruned += o.DPPruned
+}
+
+// matchScratch is the per-goroutine probe state: the overlap accumulator
+// (dense per-template, reset sparsely via touched), the sorted-token
+// buffer behind the multiset run-length walk, and the pooled wildcard-DP
+// table. Exactly one goroutine owns a matchScratch at a time; the batched
+// serve path keeps one per worker, so a steady-state probe allocates
+// nothing. stats is the owner's private counter set, merged into the
+// detector's totals in deterministic (ascending-worker) order.
+type matchScratch struct {
+	overlap []int
+	touched []int
+	sorted  []int
+	wild    align.Scratch
+	stats   Stats
+}
+
+// match returns the cheapest template whose encoding of toks beats the
+// standalone cost, or -1 — byte-identical to the pre-index full scan:
+// templates are visited in ascending index with the same strict
+// cost < bestCost improvement test, and the lower bound only skips
+// templates whose exact cost provably could not pass that test.
+func (d *Detector) match(toks []int, vocabSize int, sc *matchScratch, st *Stats) int {
+	if len(toks) == 0 || len(d.templates) == 0 {
+		return -1
+	}
+	numT := len(d.templates)
+	st.Probes++
+	st.Candidates += numT
+	best, bestCost := -1, mdl.DocCost(len(toks), vocabSize)
+
+	// Accumulate each template's constant-token multiset overlap with the
+	// document: sort a copy of toks, walk its runs, and for each distinct
+	// token credit min(doc count, template count) to every posting.
+	if cap(sc.overlap) < numT {
+		sc.overlap = make([]int, numT)
+	}
+	overlap := sc.overlap[:numT]
+	sorted := append(sc.sorted[:0], toks...)
+	align.SortInts(sorted)
+	sc.sorted = sorted
+	touched := sc.touched[:0]
+	for lo := 0; lo < len(sorted); {
+		hi := lo + 1
+		for hi < len(sorted) && sorted[hi] == sorted[lo] {
+			hi++
+		}
+		dc := hi - lo
+		for _, p := range d.index.postings[sorted[lo]] {
+			if overlap[p.template] == 0 {
+				touched = append(touched, p.template)
+			}
+			if p.count < dc {
+				overlap[p.template] += p.count
+			} else {
+				overlap[p.template] += dc
+			}
+		}
+		lo = hi
+	}
+	sc.touched = touched
+
+	// Ascending scan over all templates; the DP runs only for survivors of
+	// the admissible bound, which tightens as bestCost improves.
+	for ti := 0; ti < numT; ti++ {
+		t := &d.templates[ti]
+		lb := align.WildConditionalLowerBound(
+			len(t.Tokens), len(toks), overlap[ti], t.SlotWords, numT, vocabSize)
+		if lb >= bestCost && !d.noPrune {
+			st.DPPruned++
+			continue
+		}
+		st.DPRuns++
+		a := align.PairwiseWildScratch(t.Tokens, t.Wild, toks, &sc.wild)
+		cost := mdl.DataCostMatched(mdl.AlignStats{
+			AlignLen:   a.Len(),
+			Unmatched:  a.Distance(),
+			AddedWords: a.Subs + a.Inss,
+			SlotWords:  t.SlotWords,
+		}, numT, vocabSize)
+		if cost < bestCost {
+			best, bestCost = ti, cost
+		}
+	}
+
+	// Sparse reset: only touched entries are nonzero, so the accumulator
+	// stays all-zero between probes without an O(T) clear.
+	for _, ti := range touched {
+		overlap[ti] = 0
+	}
+	return best
+}

@@ -45,7 +45,10 @@ func (d *Detector) Save(w io.Writer) error {
 // Load restores templates saved by Save into a (typically fresh)
 // detector, merging after any templates it already holds. Document
 // counts resume from the saved values; assignments of the previous
-// process's documents are not restored (ids are process-local).
+// process's documents are not restored (ids are process-local). The
+// inverted candidate-pruning index and the canned slot vectors are
+// derived state, not persisted: each restored template re-enters through
+// register, which rebuilds both over the loading detector's vocabulary.
 func (d *Detector) Load(r io.Reader) error {
 	var st stateV1
 	if err := json.NewDecoder(r).Decode(&st); err != nil {
@@ -70,7 +73,7 @@ func (d *Detector) Load(r io.Reader) error {
 			}
 			t.Tokens[i] = d.vocab.Add(w)
 		}
-		d.templates = append(d.templates, t)
+		d.register(t)
 	}
 	return nil
 }

@@ -1,0 +1,153 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"infoshield/internal/core"
+)
+
+// expectedIndex recomputes the inverted candidate-pruning index from a
+// template set from scratch — an independent reimplementation the tests
+// compare the incrementally-maintained d.index against.
+func expectedIndex(templates []Template) map[int][]posting {
+	want := make(map[int][]posting)
+	for ti := range templates {
+		t := &templates[ti]
+		counts := make(map[int]int)
+		order := make([]int, 0, len(t.Tokens))
+		for i, tok := range t.Tokens {
+			if t.Wild[i] {
+				continue
+			}
+			if counts[tok] == 0 {
+				order = append(order, tok)
+			}
+			counts[tok]++
+		}
+		for _, tok := range order {
+			want[tok] = append(want[tok], posting{template: ti, count: counts[tok]})
+		}
+	}
+	return want
+}
+
+func checkIndex(t *testing.T, label string, d *Detector) {
+	t.Helper()
+	want := expectedIndex(d.templates)
+	if len(want) == 0 {
+		want = nil
+	}
+	got := d.index.postings
+	if len(got) == 0 {
+		got = nil
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: inverted index diverged from a full rebuild (%d vs %d tokens)",
+			label, len(got), len(want))
+	}
+}
+
+// TestPersistRoundTripVerdicts saves a detector that holds both mined
+// templates and pending documents, loads it into a fresh process-alike,
+// replays the pending buffer (Save persists templates only), and then
+// requires every subsequent Add verdict — match, buffer, and post-Flush
+// assignment — to agree with the never-persisted original. The rebuilt
+// inverted index must equal a from-scratch recomputation on both sides.
+func TestPersistRoundTripVerdicts(t *testing.T) {
+	d1 := New(core.Options{})
+	d1.BatchSize = 1 << 30
+	d1.AddBatch(append(campaign(20), noise(300, 31)...))
+	d1.Flush()
+	if d1.NumTemplates() == 0 {
+		t.Fatal("no template mined")
+	}
+	// Leave documents pending: a second campaign too small to have been
+	// mined yet, plus fresh noise.
+	var pendingTexts []string
+	for i := 0; i < 6; i++ {
+		pendingTexts = append(pendingTexts,
+			fmt.Sprintf("grand winter raffle enter the diamond draw tonight code gw%04d only", i))
+	}
+	pendingTexts = append(pendingTexts, noise(40, 32)...)
+	d1.AddBatch(pendingTexts)
+	if d1.Pending() != len(pendingTexts) {
+		t.Fatalf("pending = %d, want %d", d1.Pending(), len(pendingTexts))
+	}
+
+	var buf bytes.Buffer
+	if err := d1.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.String()
+
+	d2 := New(core.Options{})
+	d2.BatchSize = 1 << 30
+	if err := d2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	checkIndex(t, "d1 after mining", d1)
+	checkIndex(t, "d2 after load", d2)
+
+	// Loaded templates serialize back to the identical state.
+	var buf2 bytes.Buffer
+	if err := d2.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != saved {
+		t.Fatal("save → load → save is not a fixed point")
+	}
+
+	// Replay the pending buffer so both detectors hold the same state up
+	// to process-local ids, then require identical verdicts for a stream
+	// of new documents spanning all three outcomes.
+	d2.AddBatch(pendingTexts)
+
+	probes := []string{
+		"limited offer buy the premium golden package today visit site8888.example now",
+		"grand winter raffle enter the diamond draw tonight code gw9999 only",
+		"completely unrelated musing about rivers and violins tonight",
+		"limited offer buy the premium golden package today visit site8889.example now",
+	}
+	var ids1, ids2 []int
+	for _, p := range probes {
+		ids1 = append(ids1, d1.Add(p))
+		ids2 = append(ids2, d2.Add(p))
+	}
+	for i := range probes {
+		a1, a2 := d1.Assignment(ids1[i]), d2.Assignment(ids2[i])
+		if a1 != a2 {
+			t.Fatalf("probe %d: verdict %+v (original) vs %+v (loaded)", i, a1, a2)
+		}
+	}
+	if d1.Pending() != d2.Pending() {
+		t.Fatalf("pending %d vs %d", d1.Pending(), d2.Pending())
+	}
+
+	// Flush both: mining the identical buffer must mine identical
+	// templates, keep the indexes rebuild-consistent, and give the new
+	// documents matching assignments.
+	d1.Flush()
+	d2.Flush()
+	if d1.NumTemplates() != d2.NumTemplates() {
+		t.Fatalf("templates after flush: %d vs %d", d1.NumTemplates(), d2.NumTemplates())
+	}
+	for ti := range d1.templates {
+		if d1.templates[ti].DocCount != d2.templates[ti].DocCount {
+			t.Fatalf("template %d DocCount %d vs %d",
+				ti, d1.templates[ti].DocCount, d2.templates[ti].DocCount)
+		}
+		if !reflect.DeepEqual(d1.templates[ti].SlotWords, d2.templates[ti].SlotWords) {
+			t.Fatalf("template %d SlotWords differ", ti)
+		}
+	}
+	checkIndex(t, "d1 after second flush", d1)
+	checkIndex(t, "d2 after second flush", d2)
+	for i := range probes {
+		if a1, a2 := d1.Assignment(ids1[i]), d2.Assignment(ids2[i]); a1 != a2 {
+			t.Fatalf("probe %d after flush: %+v vs %+v", i, a1, a2)
+		}
+	}
+}

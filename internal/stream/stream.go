@@ -9,12 +9,19 @@
 // when the buffer reaches BatchSize the full coarse+fine pipeline runs
 // over it to mine new templates. Everything stays deterministic for a
 // given input order.
+//
+// The serving hot path scales with the template set: an inverted index
+// over constant tokens feeds an admissible MDL lower bound that skips the
+// wildcard-alignment DP for templates that cannot win (see index.go), a
+// per-goroutine scratch makes the surviving DPs allocation-free, and
+// AddBatch fans the match phase across Options.Workers with verdicts
+// applied in arrival order — byte-identical to serial Adds for any worker
+// count.
 package stream
 
 import (
-	"infoshield/internal/align"
 	"infoshield/internal/core"
-	"infoshield/internal/mdl"
+	"infoshield/internal/par"
 	"infoshield/internal/template"
 	"infoshield/internal/tokenize"
 )
@@ -34,6 +41,11 @@ type Template struct {
 	Wild     []bool // per position: is a slot (wildcard for matching)
 	Tokens   []int  // constants (slot positions keep the consensus token)
 	DocCount int
+	// SlotWords is the canned per-slot word-count vector the matcher
+	// charges (one word per slot, the serving path's S(w) ≈ S(1)
+	// approximation), precomputed at registration so probes never rebuild
+	// it. len(SlotWords) is the slot count. Shared; do not mutate.
+	SlotWords []int
 }
 
 // Detector accumulates documents and templates incrementally.
@@ -41,18 +53,30 @@ type Detector struct {
 	// BatchSize is the buffer size that triggers a mining pass
 	// (default 512).
 	BatchSize int
-	// Options configures the mining passes.
+	// Options configures the mining passes and bounds AddBatch's matching
+	// worker pool (Options.Workers; any value produces identical output).
 	Options core.Options
 
 	tk        tokenize.Tokenizer
 	vocab     *tokenize.Vocab
 	templates []Template
+	index     tmplIndex
 
 	pendingTexts []string
-	pendingIDs   []int // caller-visible doc ids of buffered docs
+	pendingIDs   []int       // caller-visible doc ids of buffered docs
+	pendingSet   map[int]int // doc id -> position in pendingIDs (O(1) lookups)
 
 	nextID      int
 	assignments map[int]int // doc id -> template index
+
+	sc      matchScratch    // serial probe scratch (Add)
+	batchSc []*matchScratch // per-worker probe scratches (AddBatch)
+	stats   Stats
+
+	// noPrune disables the lower-bound skip so tests can drive the exact
+	// same scan with the DP forced on every template (the reference path
+	// of the pruning-equivalence gate).
+	noPrune bool
 }
 
 // New creates an empty detector.
@@ -61,6 +85,7 @@ func New(opt core.Options) *Detector {
 		BatchSize:   512,
 		Options:     opt,
 		vocab:       tokenize.NewVocab(),
+		pendingSet:  make(map[int]int),
 		assignments: make(map[int]int),
 	}
 }
@@ -74,15 +99,17 @@ func (d *Detector) Templates() []Template { return d.templates }
 // Pending returns how many documents wait for the next mining pass.
 func (d *Detector) Pending() int { return len(d.pendingTexts) }
 
+// Stats returns the cumulative serving-path counters (probe, DP, and
+// pruning counts — see Stats).
+func (d *Detector) Stats() Stats { return d.stats }
+
 // Assignment returns the current verdict for a document id returned by Add.
 func (d *Detector) Assignment(id int) Assignment {
 	if t, ok := d.assignments[id]; ok {
 		return Assignment{Template: t}
 	}
-	for _, pid := range d.pendingIDs {
-		if pid == id {
-			return Assignment{Template: -1, Pending: true}
-		}
+	if _, ok := d.pendingSet[id]; ok {
+		return Assignment{Template: -1, Pending: true}
 	}
 	return Assignment{Template: -1}
 }
@@ -91,14 +118,23 @@ func (d *Detector) Assignment(id int) Assignment {
 // attaches to an existing template immediately or buffers for the next
 // mining pass (triggered automatically at BatchSize).
 func (d *Detector) Add(text string) int {
+	toks := d.vocab.Encode(d.tk.Tokens(text))
+	return d.apply(text, d.match(toks, d.vocab.Size(), &d.sc, &d.stats))
+}
+
+// apply commits one matched-or-buffered verdict in arrival order: the
+// single mutation point Add and AddBatch share, so batched ingestion has
+// exactly the serial path's effects (including flushes that fire
+// mid-batch).
+func (d *Detector) apply(text string, verdict int) int {
 	id := d.nextID
 	d.nextID++
-	toks := d.vocab.Encode(d.tk.Tokens(text))
-	if t := d.matchTemplate(toks); t >= 0 {
-		d.assignments[id] = t
-		d.templates[t].DocCount++
+	if verdict >= 0 {
+		d.assignments[id] = verdict
+		d.templates[verdict].DocCount++
 		return id
 	}
+	d.pendingSet[id] = len(d.pendingIDs)
 	d.pendingTexts = append(d.pendingTexts, text)
 	d.pendingIDs = append(d.pendingIDs, id)
 	if len(d.pendingTexts) >= d.batchSize() {
@@ -107,13 +143,82 @@ func (d *Detector) Add(text string) int {
 	return id
 }
 
-// AddBatch ingests many documents and returns their ids.
+// AddBatch ingests many documents and returns their ids, with verdicts
+// byte-identical to calling Add in a loop for any Options.Workers.
+//
+// The batch is consumed in segments of at most BatchSize−Pending()
+// documents: within a segment the serial loop could not have flushed
+// before the last document's own verdict (a flush needs that many
+// buffered docs, and the triggering doc buffers before its flush runs),
+// so every segment document is matched against the template set as of the
+// segment start. Tokenization fans out first (stateless); vocabulary
+// encoding then replays arrival order serially so token ids keep their
+// first-seen assignment and each document sees the vocabulary size it
+// would have seen under serial Adds; the match phase fans out over
+// contiguous index ranges with one scratch per worker; and the verdicts
+// are applied sequentially in arrival order, firing any flush exactly
+// where the serial loop would.
 func (d *Detector) AddBatch(texts []string) []int {
 	ids := make([]int, len(texts))
-	for i, t := range texts {
-		ids[i] = d.Add(t)
+	if len(texts) == 0 {
+		return ids
+	}
+	workers := par.Workers(d.Options.Workers)
+	words := d.tk.All(texts, workers)
+	toks := make([][]int, len(texts))
+	sizes := make([]int, len(texts)) // vocab size after encoding doc i
+	verdicts := make([]int, len(texts))
+	for start := 0; start < len(texts); {
+		room := d.batchSize() - len(d.pendingTexts)
+		if room < 1 {
+			room = 1
+		}
+		end := start + room
+		if end > len(texts) {
+			end = len(texts)
+		}
+		for i := start; i < end; i++ {
+			toks[i] = d.vocab.Encode(words[i])
+			sizes[i] = d.vocab.Size()
+		}
+		d.matchRange(toks, sizes, verdicts, start, end, workers)
+		for i := start; i < end; i++ {
+			ids[i] = d.apply(texts[i], verdicts[i])
+		}
+		start = end
 	}
 	return ids
+}
+
+// matchRange fills verdicts[start:end] for already-encoded documents
+// against the current template set. Verdicts are pure per-document
+// functions of (toks, vocab size, templates), so the fan-out only changes
+// scheduling; per-worker stats merge in ascending worker order.
+func (d *Detector) matchRange(toks [][]int, sizes, verdicts []int, start, end, workers int) {
+	n := end - start
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || len(d.templates) == 0 {
+		for i := start; i < end; i++ {
+			verdicts[i] = d.match(toks[i], sizes[i], &d.sc, &d.stats)
+		}
+		return
+	}
+	for len(d.batchSc) < workers {
+		d.batchSc = append(d.batchSc, &matchScratch{})
+	}
+	for w := 0; w < workers; w++ {
+		d.batchSc[w].stats = Stats{}
+	}
+	par.Map(verdicts[start:end], workers,
+		func(w int) *matchScratch { return d.batchSc[w] },
+		func(i int, sc *matchScratch) int {
+			return d.match(toks[start+i], sizes[start+i], sc, &sc.stats)
+		})
+	for w := 0; w < workers; w++ {
+		d.stats.add(d.batchSc[w].stats)
+	}
 }
 
 func (d *Detector) batchSize() int {
@@ -123,39 +228,24 @@ func (d *Detector) batchSize() int {
 	return d.BatchSize
 }
 
-// matchTemplate returns the cheapest template whose encoding of toks
-// beats the standalone cost, or -1. Slots match as wildcards and their
-// fill is charged via S(w) ≈ S(1) per slot.
-func (d *Detector) matchTemplate(toks []int) int {
-	if len(toks) == 0 || len(d.templates) == 0 {
-		return -1
-	}
-	V := d.vocab.Size()
-	standalone := mdl.DocCost(len(toks), V)
-	best, bestCost := -1, standalone
-	numT := len(d.templates)
-	for ti := range d.templates {
-		t := &d.templates[ti]
-		a := align.PairwiseWild(t.Tokens, t.Wild, toks)
-		slotWords := make([]int, 0, 4)
-		for i, w := range t.Wild {
-			if w {
-				// Approximate: one word per matched slot position.
-				_ = i
-				slotWords = append(slotWords, 1)
-			}
-		}
-		cost := mdl.DataCostMatched(mdl.AlignStats{
-			AlignLen:   a.Len(),
-			Unmatched:  a.Distance(),
-			AddedWords: a.Subs + a.Inss,
-			SlotWords:  slotWords,
-		}, numT, V)
-		if cost < bestCost {
-			best, bestCost = ti, cost
+// register appends a template, precomputing its canned SlotWords vector
+// and indexing its constant tokens. Every template — mined by Flush or
+// restored by Load — enters through here, so the inverted index is always
+// in sync with the template set.
+func (d *Detector) register(t Template) {
+	slots := 0
+	for _, w := range t.Wild {
+		if w {
+			slots++
 		}
 	}
-	return best
+	t.SlotWords = make([]int, slots)
+	for i := range t.SlotWords {
+		t.SlotWords[i] = 1
+	}
+	ti := len(d.templates)
+	d.templates = append(d.templates, t)
+	d.index.add(ti, &d.templates[ti])
 }
 
 // Flush mines the buffered documents with the batch pipeline, appending
@@ -183,7 +273,7 @@ func (d *Detector) Flush() {
 				tokens[i] = d.vocab.Add(res.Vocab.Word(tid))
 			}
 			ti := len(d.templates)
-			d.templates = append(d.templates, Template{
+			d.register(Template{
 				Pattern:  tr.Template,
 				Wild:     wild,
 				Tokens:   tokens,
@@ -196,4 +286,5 @@ func (d *Detector) Flush() {
 	}
 	d.pendingTexts = nil
 	d.pendingIDs = nil
+	clear(d.pendingSet)
 }

@@ -1,6 +1,8 @@
 package infoshield
 
 import (
+	"io"
+
 	"infoshield/internal/stream"
 )
 
@@ -48,3 +50,39 @@ func (s *StreamDetector) NumTemplates() int { return s.d.NumTemplates() }
 
 // Pending returns the number of buffered documents.
 func (s *StreamDetector) Pending() int { return s.d.Pending() }
+
+// StreamStats reports the cumulative work of the serving path's template
+// matcher — the streaming analogue of Result.Timings(). DPPruned over
+// Candidates is the DP-skip rate: the fraction of template comparisons
+// the inverted-index lower bound resolved without running the wildcard
+// alignment.
+type StreamStats struct {
+	// Probes counts documents tested against a non-empty template set.
+	Probes int
+	// Candidates counts template candidates considered across all probes.
+	Candidates int
+	// DPRuns counts full wildcard-alignment DPs executed.
+	DPRuns int
+	// DPPruned counts candidates skipped by the admissible lower bound.
+	DPPruned int
+}
+
+// Stats returns the serving-path counters accumulated since creation.
+func (s *StreamDetector) Stats() StreamStats {
+	st := s.d.Stats()
+	return StreamStats{
+		Probes:     st.Probes,
+		Candidates: st.Candidates,
+		DPRuns:     st.DPRuns,
+		DPPruned:   st.DPPruned,
+	}
+}
+
+// Save serializes the mined templates (not the pending buffer — call
+// Flush first if buffered documents matter).
+func (s *StreamDetector) Save(w io.Writer) error { return s.d.Save(w) }
+
+// Load restores templates saved by Save, merging after any templates the
+// detector already holds; the candidate-pruning index is rebuilt over the
+// loading detector's vocabulary.
+func (s *StreamDetector) Load(r io.Reader) error { return s.d.Load(r) }

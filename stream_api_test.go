@@ -1,6 +1,7 @@
 package infoshield
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 )
@@ -37,5 +38,31 @@ func TestStreamDetectorFacade(t *testing.T) {
 	}
 	if s.Pending() > 1 {
 		t.Errorf("pending = %d", s.Pending())
+	}
+
+	// Serving stats are exposed and internally consistent.
+	st := s.Stats()
+	if st.Probes == 0 || st.Candidates == 0 {
+		t.Errorf("stats not accumulated: %+v", st)
+	}
+	if st.DPRuns+st.DPPruned != st.Candidates {
+		t.Errorf("stats out of balance: %+v", st)
+	}
+
+	// Save / Load round-trips through the facade.
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStreamDetector(Config{}, 0)
+	if err := s2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s2.NumTemplates() != s.NumTemplates() {
+		t.Errorf("loaded %d templates, want %d", s2.NumTemplates(), s.NumTemplates())
+	}
+	id = s2.Add("flash sale grab the deluxe winter bundle now at shop0042.example today")
+	if tpl, pending := s2.Template(id); tpl < 0 || pending {
+		t.Errorf("loaded facade failed to match: tpl=%d pending=%v", tpl, pending)
 	}
 }
