@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test build vet race fuzz fuzz-stream bench bench-coarse bench-json bench-all experiments
+.PHONY: check test build vet race fuzz fuzz-stream fuzz-serve bench bench-coarse bench-json bench-all experiments
 
 ## check: the full gate — vet (go vet + infoshield-vet), build, and
 ## race-enabled tests.
@@ -36,6 +36,12 @@ fuzz:
 fuzz-stream:
 	$(GO) test -fuzz FuzzStreamOps -fuzztime 30s ./internal/stream
 
+## fuzz-serve: a bounded burst of the daemon fuzzer (interleaved HTTP
+## single/batch/flush/snapshot requests against the coalescer, verdicts
+## checked op-by-op against a serial reference detector).
+fuzz-serve:
+	$(GO) test -fuzz FuzzServe -fuzztime 30s ./internal/serve
+
 ## bench: the end-to-end pipeline benchmark at both corpus sizes,
 ## repeated for stable numbers.
 bench:
@@ -46,17 +52,19 @@ bench:
 bench-coarse:
 	$(GO) test -bench='Coarse|TopPhrase' -benchmem -run '^$$'
 
-## bench-json: the coarse, fine, end-to-end, and streaming benchmarks
-## archived as machine-readable JSON via cmd/benchjson (plus the raw
-## text). CI runs this with BENCH_COUNT=1 and uploads BENCH_fine.json and
-## BENCH_stream.json as artifacts; use the default count locally for
-## stable numbers.
+## bench-json: the coarse, fine, end-to-end, streaming, and serving
+## benchmarks archived as machine-readable JSON via cmd/benchjson (plus
+## the raw text). CI runs this with BENCH_COUNT=1 and uploads
+## BENCH_fine.json, BENCH_stream.json, and BENCH_serve.json as
+## artifacts; use the default count locally for stable numbers.
 BENCH_COUNT ?= 5
 bench-json:
 	$(GO) test -bench='Coarse|Fine|PipelineEndToEnd' -benchmem -count=$(BENCH_COUNT) -run '^$$' > BENCH_fine.txt
 	$(GO) run ./cmd/benchjson -o BENCH_fine.json < BENCH_fine.txt
 	$(GO) test -bench='StreamAdd' -benchmem -count=$(BENCH_COUNT) -run '^$$' > BENCH_stream.txt
 	$(GO) run ./cmd/benchjson -o BENCH_stream.json < BENCH_stream.txt
+	$(GO) test -bench='Serve' -benchmem -count=$(BENCH_COUNT) -run '^$$' ./internal/serve > BENCH_serve.txt
+	$(GO) run ./cmd/benchjson -o BENCH_serve.json < BENCH_serve.txt
 
 bench-all:
 	$(GO) test -bench=. -benchmem -run '^$$'

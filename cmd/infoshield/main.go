@@ -37,6 +37,7 @@ func main() {
 	starMSA := flag.Bool("star-msa", false, "use star MSA instead of partial order alignment")
 	noSlots := flag.Bool("no-slots", false, "disable slot detection")
 	workers := flag.Int("workers", 0, "worker pool for the whole pipeline (0 = GOMAXPROCS); never changes output")
+	timings := flag.Bool("timings", false, "print per-stage pipeline durations to stderr")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -61,6 +62,9 @@ func main() {
 
 	fmt.Printf("documents: %d   vocabulary: %d   clusters: %d   templates: %d\n\n",
 		len(texts), result.VocabSize(), len(result.Clusters()), result.NumTemplates())
+	if *timings {
+		writeTimings(os.Stderr, result.Timings())
+	}
 	if *evalFlag {
 		truth := make([]bool, docs.Len())
 		clusters := make([]int, docs.Len())
@@ -101,6 +105,18 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *htmlOut)
 	}
+}
+
+// writeTimings prints the per-stage durations of a Detect run. Fine
+// sub-stages are summed across concurrent cluster workers, so with
+// Workers > 1 they measure aggregate CPU time, not wall clock.
+func writeTimings(w io.Writer, tm infoshield.Timings) {
+	fmt.Fprintf(w, "timings:\n")
+	fmt.Fprintf(w, "  coarse     %12v   (tokenize %v, extract %v, score %v, components %v)\n",
+		tm.Coarse, tm.Tokenize, tm.CoarseExtract, tm.CoarseScore, tm.CoarseComponents)
+	fmt.Fprintf(w, "  fine       %12v   (screen %v, align %v, consensus %v, slots %v; CPU time across workers)\n",
+		tm.Fine, tm.FineScreen, tm.FineAlign, tm.FineConsensus, tm.FineSlots)
+	fmt.Fprintf(w, "  total      %12v\n", tm.Coarse+tm.Fine)
 }
 
 // readInput loads documents from path ("-" = stdin).

@@ -1,0 +1,150 @@
+// Command infoshieldd serves the streaming InfoShield detector over
+// HTTP/JSON. Concurrent single-document requests are transparently
+// coalesced into detector batches (group-commit micro-batching), so the
+// parallel AddBatch fan-out is exercised even when every client sends
+// one document at a time.
+//
+// Endpoints:
+//
+//	POST /v1/docs             {"text": "..."} or {"texts": ["...", ...]}
+//	GET  /v1/assignments/{id}
+//	GET  /v1/templates
+//	GET  /v1/stats
+//	POST /v1/flush
+//	POST /v1/snapshot         {"path": "..."} optional
+//	GET  /healthz
+//	GET  /debug/pprof/...
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, waits for
+// in-flight requests, drains the coalescer queue, and — when -state is
+// set — mines the remaining buffer and snapshots the templates before
+// exiting.
+//
+// Example:
+//
+//	infoshieldd -addr :8743 -state /var/lib/infoshield/state.json &
+//	curl -s localhost:8743/v1/docs -d '{"text":"big sale call now"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"infoshield/internal/core"
+	"infoshield/internal/serve"
+	"infoshield/internal/stream"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected, so tests can drive it.
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("infoshieldd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8743", "listen address")
+	state := fs.String("state", "", "state file: loaded at startup if present, snapshotted on shutdown and by POST /v1/snapshot")
+	workers := fs.Int("workers", 0, "worker pool for batched matching and mining (0 = GOMAXPROCS); never changes verdicts")
+	mineBatch := fs.Int("mine-batch", 0, "buffered documents that trigger a mining pass (0 = detector default 512)")
+	maxBatch := fs.Int("max-batch", 0, "documents that flush a coalesced ingest batch (0 = default 256)")
+	maxWait := fs.Duration("max-wait", 0, "latency budget for growing an ingest batch (0 = commit as soon as the queue drains)")
+	queueDepth := fs.Int("queue-depth", 0, "ingest queue depth in requests (0 = default 1024)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "usage: infoshieldd [flags]")
+		fs.PrintDefaults()
+		return 2
+	}
+
+	det := stream.New(core.Options{Workers: *workers})
+	if *mineBatch > 0 {
+		det.BatchSize = *mineBatch
+	}
+	if *state != "" {
+		if err := loadState(det, *state); err != nil {
+			fmt.Fprintln(stderr, "infoshieldd:", err)
+			return 1
+		}
+	}
+
+	c := serve.NewCoalescer(det, serve.Options{
+		MaxBatch:   *maxBatch,
+		MaxWait:    *maxWait,
+		QueueDepth: *queueDepth,
+	})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: serve.NewServer(c, *state).Handler(),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(stdout, "infoshieldd: listening on %s (%d templates loaded)\n",
+			*addr, det.NumTemplates())
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		// Listen failed before any signal: nothing to drain.
+		fmt.Fprintln(stderr, "infoshieldd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Shutdown protocol: stop accepting connections and wait for in-flight
+	// HTTP requests (whose Submits must reach the queue before we close
+	// it), then mine + snapshot while the coalescer still accepts control
+	// requests, and finally drain and stop the sequencer.
+	fmt.Fprintln(stdout, "infoshieldd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(stderr, "infoshieldd: shutdown:", err)
+	}
+	code := 0
+	if *state != "" {
+		if err := c.Flush(); err != nil {
+			fmt.Fprintln(stderr, "infoshieldd: final flush:", err)
+			code = 1
+		}
+		if _, err := serve.SnapshotToFile(c, *state); err != nil {
+			fmt.Fprintln(stderr, "infoshieldd: final snapshot:", err)
+			code = 1
+		} else {
+			fmt.Fprintf(stdout, "infoshieldd: snapshotted state to %s\n", *state)
+		}
+	}
+	if err := c.Close(); err != nil {
+		fmt.Fprintln(stderr, "infoshieldd: close:", err)
+		code = 1
+	}
+	return code
+}
+
+// loadState restores a previous snapshot; a missing file is a fresh
+// start, not an error.
+func loadState(det *stream.Detector, path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return det.Load(f)
+}

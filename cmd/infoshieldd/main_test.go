@@ -1,0 +1,149 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"infoshield/internal/core"
+	"infoshield/internal/stream"
+)
+
+// freePort reserves an ephemeral port and releases it for the daemon.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// devNull returns a writable sink file.
+func devNull(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// TestDaemonLifecycle boots the daemon, feeds it documents over HTTP,
+// shuts it down with SIGTERM, and verifies the drain protocol left a
+// loadable state snapshot behind.
+func TestDaemonLifecycle(t *testing.T) {
+	addr := freePort(t)
+	statePath := filepath.Join(t.TempDir(), "state.json")
+	sink := devNull(t)
+
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", addr, "-state", statePath}, sink, sink)
+	}()
+
+	base := "http://" + addr
+	waitHealthy(t, base, done)
+
+	// 3 campaign near-duplicates + 4 noise docs: enough idf contrast for
+	// the shutdown flush to mine one template from the buffer.
+	for i := 0; i < 3; i++ {
+		body := fmt.Sprintf(`{"text":"limited offer buy the premium golden package today visit site%04d.example now"}`, i)
+		postOK(t, base+"/v1/docs", body)
+	}
+	for i := 0; i < 4; i++ {
+		body := fmt.Sprintf(`{"text":"nq%da nq%db nq%dc nq%dd nq%de nq%df"}`, i, i, i, i, i, i)
+		postOK(t, base+"/v1/docs", body)
+	}
+
+	// SIGTERM: the daemon must drain, flush the buffered docs, snapshot,
+	// and exit 0.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("daemon exited %d", code)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+
+	f, err := os.Open(statePath)
+	if err != nil {
+		t.Fatalf("no state snapshot after shutdown: %v", err)
+	}
+	defer f.Close()
+	det := stream.New(core.Options{})
+	if err := det.Load(f); err != nil {
+		t.Fatalf("snapshot does not load: %v", err)
+	}
+	if det.NumTemplates() == 0 {
+		t.Error("shutdown flush mined no template")
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	sink := devNull(t)
+	if code := run([]string{"-nope"}, sink, sink); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"positional"}, sink, sink); code != 2 {
+		t.Errorf("positional arg: exit %d, want 2", code)
+	}
+}
+
+func TestDaemonBadStateFile(t *testing.T) {
+	sink := devNull(t)
+	path := filepath.Join(t.TempDir(), "corrupt.json")
+	if err := os.WriteFile(path, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-state", path}, sink, sink); code != 1 {
+		t.Errorf("corrupt state: exit %d, want 1", code)
+	}
+}
+
+// waitHealthy polls /healthz until the daemon answers (or it exited).
+func waitHealthy(t *testing.T, base string, done <-chan int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case code := <-done:
+			t.Fatalf("daemon exited %d before becoming healthy", code)
+		default:
+		}
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("daemon never became healthy")
+}
+
+func postOK(t *testing.T, url, body string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: status %d", url, resp.StatusCode)
+	}
+}

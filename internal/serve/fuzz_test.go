@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"infoshield/internal/core"
+	"infoshield/internal/stream"
+)
+
+// FuzzServe drives an interleaved program of HTTP single-doc, batch,
+// flush, and snapshot requests against the daemon's handler and mirrors
+// every operation on a serial reference detector. Each verdict in every
+// HTTP response must match the reference assignment sampled at the same
+// point, and each snapshot must restore to the reference's exact
+// template state. The program bytes choose the operations; the payload
+// contributes fuzzer-controlled document texts on top of a minable
+// campaign mix.
+func FuzzServe(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 2, 0, 3}, "hello world this is text")
+	f.Add([]byte{1, 1, 1, 2, 3, 2}, "a\nbb cc\n\nddd ee ff gg")
+	f.Add([]byte{0, 4, 8, 2, 12, 3, 0, 1}, "limited offer buy now\nlimited offer buy now")
+	f.Add([]byte{2, 2, 3, 3}, "")
+
+	f.Fuzz(func(t *testing.T, program []byte, payload string) {
+		if len(program) > 24 {
+			program = program[:24]
+		}
+		docs := fuzzDocs(payload)
+
+		const mineBatch = 8
+		det := stream.New(core.Options{})
+		det.BatchSize = mineBatch
+		c := NewCoalescer(det, Options{MaxBatch: 4})
+		ts := httptest.NewServer(NewServer(c, "").Handler())
+		defer func() {
+			ts.Close()
+			if err := c.Close(); err != nil {
+				t.Error(err)
+			}
+		}()
+
+		ref := stream.New(core.Options{Workers: 1})
+		ref.BatchSize = mineBatch
+
+		next := 0 // cursor into docs
+		takeDoc := func() string {
+			d := docs[next%len(docs)]
+			next++
+			return d
+		}
+
+		for pc, op := range program {
+			switch op % 4 {
+			case 0: // single-document ingest
+				text := takeDoc()
+				var v Verdict
+				fuzzPost(t, ts.URL+"/v1/docs", mustJSON(t, docsRequest{Text: &text}), &v)
+				wantID := ref.Add(text)
+				checkVerdict(t, pc, v, wantID, ref)
+			case 1: // batch ingest of 1–3 documents
+				k := 1 + int(op>>2)%3
+				texts := make([]string, k)
+				for i := range texts {
+					texts[i] = takeDoc()
+				}
+				var resp docsResponse
+				fuzzPost(t, ts.URL+"/v1/docs", mustJSON(t, docsRequest{Texts: texts}), &resp)
+				if len(resp.Docs) != k {
+					t.Fatalf("op %d: %d verdicts for %d docs", pc, len(resp.Docs), k)
+				}
+				wantIDs := make([]int, k)
+				for i, text := range texts {
+					wantIDs[i] = ref.Add(text)
+				}
+				for i, v := range resp.Docs {
+					checkVerdict(t, pc, v, wantIDs[i], ref)
+				}
+			case 2: // force a mining pass
+				fuzzPost(t, ts.URL+"/v1/flush", "", nil)
+				ref.Flush()
+			case 3: // snapshot must restore to the reference's state
+				resp, err := http.Post(ts.URL+"/v1/snapshot", "application/json", nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				state, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil || resp.StatusCode != http.StatusOK {
+					t.Fatalf("op %d: snapshot status %d err %v", pc, resp.StatusCode, rerr)
+				}
+				restored := stream.New(core.Options{Workers: 1})
+				if err := restored.Load(bytes.NewReader(state)); err != nil {
+					t.Fatalf("op %d: snapshot does not load: %v", pc, err)
+				}
+				if got, want := restored.Templates(), ref.Templates(); !reflect.DeepEqual(got, want) {
+					t.Fatalf("op %d: snapshot templates diverge from reference", pc)
+				}
+			}
+		}
+
+		// Final state must agree with the reference on every axis the API
+		// exposes.
+		var st Stats
+		fuzzGet(t, ts.URL+"/v1/stats", &st)
+		if st.Templates != ref.NumTemplates() || st.PendingDocs != ref.Pending() {
+			t.Fatalf("final stats %+v, reference %d templates %d pending",
+				st, ref.NumTemplates(), ref.Pending())
+		}
+		if int64(next) != st.Serve.Docs {
+			t.Fatalf("served %d docs, counter says %d", next, st.Serve.Docs)
+		}
+	})
+}
+
+// fuzzDocs turns the fuzzer payload into a document pool, padded with a
+// deterministic campaign/noise mix so mining actually fires.
+func fuzzDocs(payload string) []string {
+	docs := corpusFor(3, 16)
+	for _, line := range strings.Split(payload, "\n") {
+		if len(line) > 80 {
+			line = line[:80]
+		}
+		docs = append(docs, line)
+	}
+	return docs
+}
+
+// checkVerdict compares one HTTP verdict with the reference assignment
+// sampled after the mirrored Add.
+func checkVerdict(t *testing.T, pc int, v Verdict, wantID int, ref *stream.Detector) {
+	t.Helper()
+	if v.ID != wantID {
+		t.Fatalf("op %d: verdict id %d, reference id %d", pc, v.ID, wantID)
+	}
+	want := ref.Assignment(wantID)
+	if v.Template != want.Template || v.Pending != want.Pending {
+		t.Fatalf("op %d doc %d: verdict %+v, reference %+v", pc, wantID, v, want)
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// fuzzPost is postJSON with a hard failure on non-200, since every
+// request the fuzz driver builds is well-formed.
+func fuzzPost(t *testing.T, url, body string, out any) {
+	t.Helper()
+	if code := postJSON(t, url, body, out); code != http.StatusOK {
+		t.Fatalf("%s: status %d", url, code)
+	}
+}
+
+func fuzzGet(t *testing.T, url string, out any) {
+	t.Helper()
+	if code := getJSON(t, url, out); code != http.StatusOK {
+		t.Fatalf("%s: status %d", url, code)
+	}
+}

@@ -1,0 +1,271 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strconv"
+)
+
+// maxBodyBytes bounds one request body (64 MiB — batched ingest of a few
+// hundred thousand short documents fits comfortably).
+const maxBodyBytes = 64 << 20
+
+// Server is the HTTP/JSON front end over one Coalescer.
+type Server struct {
+	c *Coalescer
+	// statePath is the default snapshot target for POST /v1/snapshot
+	// requests that name no path ("" means stream the state in the
+	// response body instead).
+	statePath string
+}
+
+// NewServer wraps c. statePath may be empty.
+func NewServer(c *Coalescer, statePath string) *Server {
+	return &Server{c: c, statePath: statePath}
+}
+
+// Handler returns the API routes:
+//
+//	POST /v1/docs          ingest {"text": ...} or {"texts": [...]}
+//	GET  /v1/assignments/{id}
+//	GET  /v1/templates
+//	GET  /v1/stats
+//	POST /v1/flush         force a mining pass over buffered documents
+//	POST /v1/snapshot      persist templates ({"path": ...} optional)
+//	GET  /healthz
+//	GET  /debug/pprof/...
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/docs", s.handleDocs)
+	mux.HandleFunc("GET /v1/assignments/{id}", s.handleAssignment)
+	mux.HandleFunc("GET /v1/templates", s.handleTemplates)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/flush", s.handleFlush)
+	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// docsRequest is the POST /v1/docs body: exactly one of the two forms.
+type docsRequest struct {
+	Text  *string  `json:"text,omitempty"`
+	Texts []string `json:"texts,omitempty"`
+}
+
+// docsResponse is the array-form ingest answer.
+type docsResponse struct {
+	Docs []Verdict `json:"docs"`
+}
+
+func (s *Server) handleDocs(w http.ResponseWriter, r *http.Request) {
+	var req docsRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	single := req.Text != nil
+	if single == (req.Texts != nil) {
+		httpError(w, http.StatusBadRequest, `need exactly one of "text" or "texts"`)
+		return
+	}
+	texts := req.Texts
+	if single {
+		texts = []string{*req.Text}
+	}
+	verdicts, err := s.c.Submit(texts)
+	if err != nil {
+		serveError(w, err)
+		return
+	}
+	if single {
+		writeJSON(w, http.StatusOK, verdicts[0])
+		return
+	}
+	writeJSON(w, http.StatusOK, docsResponse{Docs: verdicts})
+}
+
+// assignmentResponse is the GET /v1/assignments/{id} answer.
+type assignmentResponse struct {
+	ID       int  `json:"id"`
+	Template int  `json:"template"`
+	Pending  bool `json:"pending"`
+}
+
+func (s *Server) handleAssignment(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 {
+		httpError(w, http.StatusBadRequest, "id must be a non-negative integer")
+		return
+	}
+	a, err := s.c.Assignment(id)
+	if err != nil {
+		serveError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, assignmentResponse{ID: id, Template: a.Template, Pending: a.Pending})
+}
+
+// templateResponse is one GET /v1/templates entry.
+type templateResponse struct {
+	Index    int    `json:"index"`
+	Pattern  string `json:"pattern"`
+	Slots    int    `json:"slots"`
+	DocCount int    `json:"doc_count"`
+}
+
+func (s *Server) handleTemplates(w http.ResponseWriter, r *http.Request) {
+	infos, err := s.c.Templates()
+	if err != nil {
+		serveError(w, err)
+		return
+	}
+	out := make([]templateResponse, len(infos))
+	for i, ti := range infos {
+		out[i] = templateResponse{Index: i, Pattern: ti.Pattern, Slots: ti.Slots, DocCount: ti.DocCount}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Templates []templateResponse `json:"templates"`
+	}{out})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st, err := s.c.Stats()
+	if err != nil {
+		serveError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if err := s.c.Flush(); err != nil {
+		serveError(w, err)
+		return
+	}
+	st, err := s.c.Stats()
+	if err != nil {
+		serveError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Templates   int `json:"templates"`
+		PendingDocs int `json:"pending_docs"`
+	}{st.Templates, st.PendingDocs})
+}
+
+// snapshotRequest is the optional POST /v1/snapshot body.
+type snapshotRequest struct {
+	// Path overrides the server's default snapshot file. When both are
+	// empty the state streams back in the response body.
+	Path string `json:"path,omitempty"`
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	var req snapshotRequest
+	if r.ContentLength != 0 && !decodeJSON(w, r, &req) {
+		return
+	}
+	path := req.Path
+	if path == "" {
+		path = s.statePath
+	}
+	if path == "" {
+		// No file target: return the state as the response body. Buffered
+		// so a failed snapshot still gets a proper error status.
+		var buf bytes.Buffer
+		if err := s.c.Snapshot(&buf); err != nil {
+			serveError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(buf.Bytes())
+		return
+	}
+	n, err := SnapshotToFile(s.c, path)
+	if err != nil {
+		serveError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Path  string `json:"path"`
+		Bytes int64  `json:"bytes"`
+	}{path, n})
+}
+
+// SnapshotToFile persists the detector state to path atomically (write
+// to a sibling temp file, then rename) and returns the byte count.
+func SnapshotToFile(c *Coalescer, path string) (int64, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	err = c.Snapshot(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return 0, err
+	}
+	info, err := os.Stat(tmp)
+	if err != nil {
+		_ = os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// decodeJSON parses the request body into v, writing a 400 and returning
+// false on malformed input.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// serveError maps coalescer errors to HTTP statuses: a closed queue is
+// 503 (the daemon is shutting down), anything else 500.
+func serveError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrClosed) {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	httpError(w, http.StatusInternalServerError, err.Error())
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, struct {
+		Error string `json:"error"`
+	}{msg})
+}
+
+// writeJSON writes v with the given status. Encoding failures after the
+// header is committed have no channel back to the client.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,277 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"infoshield/internal/core"
+	"infoshield/internal/stream"
+)
+
+// newTestServer wires a detector behind the HTTP front end.
+func newTestServer(t *testing.T, mineBatch int, statePath string) (*httptest.Server, *Coalescer) {
+	t.Helper()
+	det := stream.New(core.Options{})
+	if mineBatch > 0 {
+		det.BatchSize = mineBatch
+	}
+	c := NewCoalescer(det, Options{})
+	ts := httptest.NewServer(NewServer(c, statePath).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		if err := c.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	return ts, c
+}
+
+// postJSON posts body to url and decodes the JSON response into out.
+func postJSON(t *testing.T, url, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// getJSON fetches url and decodes the JSON response into out.
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestServerIngestForms(t *testing.T) {
+	ts, _ := newTestServer(t, 1<<30, "")
+
+	var single Verdict
+	if code := postJSON(t, ts.URL+"/v1/docs", `{"text":"aa bb cc dd ee"}`, &single); code != http.StatusOK {
+		t.Fatalf("single ingest: status %d", code)
+	}
+	if single.ID != 0 || !single.Pending || single.Template != -1 {
+		t.Fatalf("single verdict %+v", single)
+	}
+
+	var batch docsResponse
+	if code := postJSON(t, ts.URL+"/v1/docs", `{"texts":["ff gg hh ii jj","kk ll mm nn oo"]}`, &batch); code != http.StatusOK {
+		t.Fatalf("batch ingest: status %d", code)
+	}
+	if len(batch.Docs) != 2 || batch.Docs[0].ID != 1 || batch.Docs[1].ID != 2 {
+		t.Fatalf("batch verdicts %+v", batch.Docs)
+	}
+
+	var a assignmentResponse
+	if code := getJSON(t, ts.URL+"/v1/assignments/1", &a); code != http.StatusOK {
+		t.Fatalf("assignment: status %d", code)
+	}
+	if a.ID != 1 || !a.Pending {
+		t.Fatalf("assignment %+v", a)
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	ts, _ := newTestServer(t, 0, "")
+
+	for _, body := range []string{
+		`{}`,                         // neither form
+		`{"text":"a","texts":["b"]}`, // both forms
+		`{"unknown":1,"text":"a"}`,   // unknown field
+		`{"text":`,                   // malformed JSON
+	} {
+		if code := postJSON(t, ts.URL+"/v1/docs", body, nil); code != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, code)
+		}
+	}
+	if code := getJSON(t, ts.URL+"/v1/assignments/notanumber", nil); code != http.StatusBadRequest {
+		t.Errorf("bad id: status %d, want 400", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/docs", nil); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/docs: status %d, want 405", code)
+	}
+}
+
+// ingestCampaign pushes a minable corpus (the same campaign/noise mix
+// the coalescer tests use) and returns how many docs.
+func ingestCampaign(t *testing.T, url string) int {
+	t.Helper()
+	docs := corpusFor(7, 120)
+	body, err := json.Marshal(docsRequest{Texts: docs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := postJSON(t, url+"/v1/docs", string(body), nil); code != http.StatusOK {
+		t.Fatalf("ingest: status %d", code)
+	}
+	return len(docs)
+}
+
+func TestServerFlushTemplatesStats(t *testing.T) {
+	ts, _ := newTestServer(t, 1<<30, "")
+	n := ingestCampaign(t, ts.URL)
+
+	var flushed struct {
+		Templates   int `json:"templates"`
+		PendingDocs int `json:"pending_docs"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/flush", "", &flushed); code != http.StatusOK {
+		t.Fatalf("flush: status %d", code)
+	}
+	if flushed.Templates == 0 || flushed.PendingDocs != 0 {
+		t.Fatalf("flush response %+v", flushed)
+	}
+
+	var tmpls struct {
+		Templates []templateResponse `json:"templates"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/templates", &tmpls); code != http.StatusOK {
+		t.Fatalf("templates: status %d", code)
+	}
+	if len(tmpls.Templates) != flushed.Templates {
+		t.Fatalf("%d templates reported vs %d flushed", len(tmpls.Templates), flushed.Templates)
+	}
+	tr := tmpls.Templates[0]
+	if tr.Pattern == "" || tr.DocCount < 2 {
+		t.Fatalf("template %+v", tr)
+	}
+
+	var st Stats
+	if code := getJSON(t, ts.URL+"/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if st.Templates != flushed.Templates || st.PendingDocs != 0 {
+		t.Fatalf("stats %+v inconsistent with flush %+v", st, flushed)
+	}
+	if st.Serve.Docs != int64(n) || st.Serve.Batches == 0 {
+		t.Fatalf("serve counters %+v, want %d docs", st.Serve, n)
+	}
+}
+
+func TestServerSnapshotBody(t *testing.T) {
+	ts, _ := newTestServer(t, 1<<30, "")
+	ingestCampaign(t, ts.URL)
+	if code := postJSON(t, ts.URL+"/v1/flush", "", nil); code != http.StatusOK {
+		t.Fatalf("flush: status %d", code)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: status %d", resp.StatusCode)
+	}
+	state, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The body is a loadable detector state.
+	restored := stream.New(core.Options{})
+	if err := restored.Load(bytes.NewReader(state)); err != nil {
+		t.Fatalf("response body is not a loadable snapshot: %v", err)
+	}
+	if restored.NumTemplates() == 0 {
+		t.Fatal("no templates restored from snapshot body")
+	}
+}
+
+func TestServerSnapshotFile(t *testing.T) {
+	defaultPath := filepath.Join(t.TempDir(), "state.json")
+	ts, _ := newTestServer(t, 1<<30, defaultPath)
+	ingestCampaign(t, ts.URL)
+	if code := postJSON(t, ts.URL+"/v1/flush", "", nil); code != http.StatusOK {
+		t.Fatalf("flush: status %d", code)
+	}
+
+	// Default path (from the server config).
+	var snap struct {
+		Path  string `json:"path"`
+		Bytes int64  `json:"bytes"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/snapshot", "", &snap); code != http.StatusOK {
+		t.Fatalf("snapshot: status %d", code)
+	}
+	if snap.Path != defaultPath || snap.Bytes == 0 {
+		t.Fatalf("snapshot response %+v", snap)
+	}
+
+	// Explicit path in the request body wins over the default.
+	override := filepath.Join(t.TempDir(), "override.json")
+	if code := postJSON(t, ts.URL+"/v1/snapshot", fmt.Sprintf(`{"path":%q}`, override), &snap); code != http.StatusOK {
+		t.Fatalf("snapshot override: status %d", code)
+	}
+	if snap.Path != override {
+		t.Fatalf("snapshot response %+v, want path %s", snap, override)
+	}
+
+	for _, path := range []string{defaultPath, override} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored := stream.New(core.Options{})
+		if err := restored.Load(bytes.NewReader(data)); err != nil {
+			t.Fatalf("%s: not a loadable snapshot: %v", path, err)
+		}
+		if restored.NumTemplates() == 0 {
+			t.Fatalf("%s: no templates restored", path)
+		}
+	}
+}
+
+func TestServerHealthAndPprof(t *testing.T) {
+	ts, _ := newTestServer(t, 0, "")
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: status %d", resp.StatusCode)
+	}
+}
+
+func TestServerClosedReturns503(t *testing.T) {
+	det := stream.New(core.Options{})
+	c := NewCoalescer(det, Options{})
+	ts := httptest.NewServer(NewServer(c, "").Handler())
+	defer ts.Close()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if code := postJSON(t, ts.URL+"/v1/docs", `{"text":"aa bb"}`, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("docs after close: status %d, want 503", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/stats", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("stats after close: status %d, want 503", code)
+	}
+}

@@ -20,6 +20,8 @@
 package stream
 
 import (
+	"strings"
+
 	"infoshield/internal/core"
 	"infoshield/internal/par"
 	"infoshield/internal/template"
@@ -98,6 +100,37 @@ func (d *Detector) Templates() []Template { return d.templates }
 
 // Pending returns how many documents wait for the next mining pass.
 func (d *Detector) Pending() int { return len(d.pendingTexts) }
+
+// TemplateInfo is a reporting view of one mined template: the pattern
+// renders constants verbatim and slots as "*", matching the batch
+// pipeline's Result rendering.
+type TemplateInfo struct {
+	Pattern  string
+	Slots    int
+	DocCount int
+}
+
+// TemplateInfo renders template ti (0 <= ti < NumTemplates) for
+// reporting. It decodes through the detector's vocabulary, so it is only
+// safe while no mining pass or Load runs concurrently — serving front
+// ends must call it from whatever goroutine owns the detector.
+func (d *Detector) TemplateInfo(ti int) TemplateInfo {
+	t := &d.templates[ti]
+	var sb strings.Builder
+	slots := 0
+	for i, tok := range t.Tokens {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if t.Wild[i] {
+			sb.WriteByte('*')
+			slots++
+			continue
+		}
+		sb.WriteString(d.vocab.Word(tok))
+	}
+	return TemplateInfo{Pattern: sb.String(), Slots: slots, DocCount: t.DocCount}
+}
 
 // Stats returns the cumulative serving-path counters (probe, DP, and
 // pruning counts — see Stats).

@@ -48,6 +48,28 @@ func (s *StreamDetector) Template(id int) (template int, pending bool) {
 // NumTemplates returns the number of templates mined so far.
 func (s *StreamDetector) NumTemplates() int { return s.d.NumTemplates() }
 
+// StreamTemplate is a reporting view of one mined template.
+type StreamTemplate struct {
+	// Pattern renders constants verbatim and slots as "*".
+	Pattern string
+	// Slots is the number of slot positions.
+	Slots int
+	// DocCount is the running number of documents the template has
+	// encoded (mined members plus later streaming matches).
+	DocCount int
+}
+
+// Templates renders the mined templates for reporting, in mining order
+// (indices match the values returned by Template).
+func (s *StreamDetector) Templates() []StreamTemplate {
+	out := make([]StreamTemplate, s.d.NumTemplates())
+	for i := range out {
+		ti := s.d.TemplateInfo(i)
+		out[i] = StreamTemplate{Pattern: ti.Pattern, Slots: ti.Slots, DocCount: ti.DocCount}
+	}
+	return out
+}
+
 // Pending returns the number of buffered documents.
 func (s *StreamDetector) Pending() int { return s.d.Pending() }
 
