@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test build vet race fuzz fuzz-stream fuzz-serve bench bench-coarse bench-json bench-all experiments
+.PHONY: check test build vet race fuzz fuzz-stream fuzz-serve bench bench-coarse bench-json bench-scale bench-all experiments
 
 ## check: the full gate — vet (go vet + infoshield-vet), build, and
 ## race-enabled tests.
@@ -61,10 +61,19 @@ BENCH_COUNT ?= 5
 bench-json:
 	$(GO) test -bench='Coarse|Fine|PipelineEndToEnd' -benchmem -count=$(BENCH_COUNT) -run '^$$' > BENCH_fine.txt
 	$(GO) run ./cmd/benchjson -o BENCH_fine.json < BENCH_fine.txt
-	$(GO) test -bench='StreamAdd' -benchmem -count=$(BENCH_COUNT) -run '^$$' > BENCH_stream.txt
+	$(GO) test -bench='StreamAdd$$|StreamAddBatch' -benchmem -count=$(BENCH_COUNT) -run '^$$' > BENCH_stream.txt
 	$(GO) run ./cmd/benchjson -o BENCH_stream.json < BENCH_stream.txt
 	$(GO) test -bench='Serve' -benchmem -count=$(BENCH_COUNT) -run '^$$' ./internal/serve > BENCH_serve.txt
 	$(GO) run ./cmd/benchjson -o BENCH_serve.json < BENCH_serve.txt
+
+## bench-scale: the template-count scaling curve — steady-state Add at
+## 1k/10k/100k bulk-loaded multi-market templates with DP-skip rates and
+## surviving-candidate counts (BenchmarkStreamAddScale) — archived as
+## BENCH_scale.{txt,json}. CI runs this with BENCH_COUNT=1 and uploads
+## both as artifacts.
+bench-scale:
+	$(GO) test -bench='StreamAddScale' -benchmem -count=$(BENCH_COUNT) -run '^$$' -timeout 30m > BENCH_scale.txt
+	$(GO) run ./cmd/benchjson -o BENCH_scale.json < BENCH_scale.txt
 
 bench-all:
 	$(GO) test -bench=. -benchmem -run '^$$'

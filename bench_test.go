@@ -8,6 +8,7 @@ package infoshield
 import (
 	"fmt"
 	"io"
+	"math/rand"
 	"testing"
 
 	"infoshield/internal/align"
@@ -357,6 +358,48 @@ func BenchmarkStreamAddBatch(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				s.AddBatch(texts)
+			}
+		})
+	}
+}
+
+// BenchmarkStreamAddScale pins the template-count scaling curve of the
+// serving path: steady-state Add cost against 1k/10k/100k bulk-loaded
+// multi-market templates (datagen.ScaleTemplates — market-local rare
+// vocabulary plus shared serving words that exercise the saturated-token
+// tier). dpskip/candidate is the DP-skip rate at that scale and
+// cand/probe the mean candidate set surviving the tiered index; sublinear
+// scaling means ns/op grows far slower than the template count.
+func BenchmarkStreamAddScale(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("templates=%d", n), func(b *testing.B) {
+			s := NewStreamDetector(Config{}, 1<<30)
+			set := datagen.ScaleTemplates(datagen.ScaleConfig{Seed: 1, Templates: n})
+			for _, tmpl := range set.Templates {
+				if _, err := s.RegisterTemplate(tmpl.Words, tmpl.Wild); err != nil {
+					b.Fatal(err)
+				}
+			}
+			rng := rand.New(rand.NewSource(2))
+			probes := make([]string, 512)
+			for i := range probes {
+				if i%8 == 7 {
+					probes[i] = set.Noise(rng)
+				} else {
+					probes[i] = set.Probe(rng, rng.Intn(n))
+				}
+			}
+			before := s.Stats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Add(probes[i%len(probes)])
+			}
+			b.StopTimer()
+			st := s.Stats()
+			if c := st.Candidates - before.Candidates; c > 0 {
+				b.ReportMetric(float64(st.DPPruned-before.DPPruned)/float64(c), "dpskip/candidate")
+				b.ReportMetric(float64(st.Examined-before.Examined)/float64(st.Probes-before.Probes), "cand/probe")
 			}
 		})
 	}

@@ -1,0 +1,97 @@
+package datagen
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestScaleTemplatesShape(t *testing.T) {
+	cfg := ScaleConfig{Seed: 3, Templates: 500}
+	set := ScaleTemplates(cfg)
+	if len(set.Templates) != 500 {
+		t.Fatalf("got %d templates", len(set.Templates))
+	}
+	want := cfg.withDefaults()
+	for ti, tmpl := range set.Templates {
+		if len(tmpl.Words) != len(tmpl.Wild) {
+			t.Fatalf("template %d: words/wild length mismatch", ti)
+		}
+		if len(tmpl.Words) < want.MinLen || len(tmpl.Words) > want.MaxLen {
+			t.Fatalf("template %d: length %d outside [%d,%d]", ti, len(tmpl.Words), want.MinLen, want.MaxLen)
+		}
+		slots, commons := 0, 0
+		for p, w := range tmpl.Words {
+			if tmpl.Wild[p] {
+				slots++
+				continue
+			}
+			if !strings.HasPrefix(w, "m") {
+				commons++
+			}
+		}
+		if slots != want.Slots {
+			t.Fatalf("template %d: %d slots, want %d", ti, slots, want.Slots)
+		}
+		if commons != 2 {
+			t.Fatalf("template %d: %d shared serving words, want 2", ti, commons)
+		}
+	}
+}
+
+func TestScaleTemplatesDeterministicAndMarketLocal(t *testing.T) {
+	a := ScaleTemplates(ScaleConfig{Seed: 9, Templates: 300})
+	b := ScaleTemplates(ScaleConfig{Seed: 9, Templates: 300})
+	if !reflect.DeepEqual(a.Templates, b.Templates) {
+		t.Fatal("same seed produced different template sets")
+	}
+	// Market-local banks: templates of different markets share only the
+	// serving commons, so cross-market constant overlap stays tiny — the
+	// property that makes candidate generation sublinear.
+	cfg := ScaleConfig{Seed: 9, Templates: 300}.withDefaults()
+	seen := make(map[string]int) // market word -> market
+	for ti, tmpl := range a.Templates {
+		market := ti % cfg.Markets
+		for p, w := range tmpl.Words {
+			if tmpl.Wild[p] || !strings.HasPrefix(w, "m") {
+				continue
+			}
+			if prev, ok := seen[w]; ok && prev != market {
+				t.Fatalf("market word %q appears in markets %d and %d", w, prev, market)
+			}
+			seen[w] = market
+		}
+	}
+}
+
+func TestScaleProbeSharesTemplateConstants(t *testing.T) {
+	set := ScaleTemplates(ScaleConfig{Seed: 5, Templates: 100})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		ti := rng.Intn(len(set.Templates))
+		probe := strings.Fields(set.Probe(rng, ti))
+		have := make(map[string]bool, len(probe))
+		for _, w := range probe {
+			have[w] = true
+		}
+		tmpl := set.Templates[ti]
+		missing, consts := 0, 0
+		for p, w := range tmpl.Words {
+			if tmpl.Wild[p] {
+				continue
+			}
+			consts++
+			if !have[w] {
+				missing++
+			}
+		}
+		// At most one constant may be dropped or substituted per probe.
+		if missing > 1 {
+			t.Fatalf("probe %d of template %d missing %d of %d constants", i, ti, missing, consts)
+		}
+	}
+	if noise := set.Noise(rng); len(strings.Fields(noise)) < 8 {
+		t.Fatalf("noise too short: %q", noise)
+	}
+}

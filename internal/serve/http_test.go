@@ -169,6 +169,29 @@ func TestServerFlushTemplatesStats(t *testing.T) {
 	if st.Serve.Docs != int64(n) || st.Serve.Batches == 0 {
 		t.Fatalf("serve counters %+v, want %d docs", st.Serve, n)
 	}
+
+	// A second ingest probes the now-mined template set, so the matcher
+	// health block must populate: consistent counters, a derived skip
+	// rate, and a histogram whose mass equals the probe count.
+	ingestCampaign(t, ts.URL)
+	if code := getJSON(t, ts.URL+"/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	m := st.Matcher
+	if m.Probes == 0 || m.DPRuns+m.DPPruned != m.Candidates {
+		t.Fatalf("matcher counters out of balance: %+v", m)
+	}
+	wantRate := float64(m.DPPruned) / float64(m.Candidates)
+	if m.DPSkipRate < wantRate || m.DPSkipRate > wantRate {
+		t.Fatalf("dp_skip_rate %v, want %v", m.DPSkipRate, wantRate)
+	}
+	histMass := 0
+	for _, c := range m.CandPerProbeHist {
+		histMass += c
+	}
+	if len(m.CandPerProbeHist) == 0 || histMass != m.Probes {
+		t.Fatalf("cand_per_probe_hist_log2 mass %d != probes %d (%v)", histMass, m.Probes, m.CandPerProbeHist)
+	}
 }
 
 func TestServerSnapshotBody(t *testing.T) {

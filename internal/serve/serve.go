@@ -138,12 +138,25 @@ type Counters struct {
 	CoalesceWaitNs int64 `json:"coalesce_wait_ns"`
 }
 
-// MatcherStats mirrors stream.Stats with JSON tags for the HTTP API.
+// MatcherStats mirrors stream.Stats with JSON tags for the HTTP API,
+// plus two derived health signals: DPSkipRate (DPPruned / Candidates, the
+// fraction of template comparisons resolved without the wildcard DP) and
+// the log2 candidates-per-probe histogram. Operators watch these because
+// index pruning degrades — skip rate falls, histogram mass drifts toward
+// high buckets — before mean latency shows it.
 type MatcherStats struct {
-	Probes     int `json:"probes"`
-	Candidates int `json:"candidates"`
-	DPRuns     int `json:"dp_runs"`
-	DPPruned   int `json:"dp_pruned"`
+	Probes      int `json:"probes"`
+	Candidates  int `json:"candidates"`
+	Examined    int `json:"examined"`
+	DPRuns      int `json:"dp_runs"`
+	DPPruned    int `json:"dp_pruned"`
+	BitDPRuns   int `json:"bitdp_runs"`
+	BitDPPruned int `json:"bitdp_pruned"`
+	// DPSkipRate is DPPruned / Candidates, 0 before any probe.
+	DPSkipRate float64 `json:"dp_skip_rate"`
+	// CandPerProbeHist[k] counts probes whose surviving candidate set had
+	// ⌈lg(n+1)⌉ = k members (bucket 0 is exactly zero candidates).
+	CandPerProbeHist []int `json:"cand_per_probe_hist_log2"`
 }
 
 // Stats is the full serving snapshot: detector state plus coalescer
@@ -264,16 +277,24 @@ func (c *Coalescer) Stats() (Stats, error) {
 	var st Stats
 	err := c.do(func(d *stream.Detector) {
 		ds := d.Stats()
+		m := MatcherStats{
+			Probes:           ds.Probes,
+			Candidates:       ds.Candidates,
+			Examined:         ds.Examined,
+			DPRuns:           ds.DPRuns,
+			DPPruned:         ds.DPPruned,
+			BitDPRuns:        ds.BitDPRuns,
+			BitDPPruned:      ds.BitDPPruned,
+			CandPerProbeHist: append([]int(nil), ds.CandHist[:]...),
+		}
+		if ds.Candidates > 0 {
+			m.DPSkipRate = float64(ds.DPPruned) / float64(ds.Candidates)
+		}
 		st = Stats{
 			Templates:   d.NumTemplates(),
 			PendingDocs: d.Pending(),
-			Matcher: MatcherStats{
-				Probes:     ds.Probes,
-				Candidates: ds.Candidates,
-				DPRuns:     ds.DPRuns,
-				DPPruned:   ds.DPPruned,
-			},
-			Serve: c.ctr,
+			Matcher:     m,
+			Serve:       c.ctr,
 		}
 		st.Serve.QueueHighWater = int(c.queueHW.Load())
 	})

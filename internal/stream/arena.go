@@ -1,0 +1,36 @@
+package stream
+
+// arena is a chunked append-only allocator: copyIn packs a slice into a
+// large shared block and returns a capacity-capped view of it. Template
+// payloads (tokens, wild flags, bit-parallel mask tables) live in a few
+// big blocks instead of one heap object per template per field, so the
+// probe hot loop walks contiguous memory and 100k registrations cost a
+// handful of allocations per arena, not hundreds of thousands. Blocks are
+// never reallocated — growth starts a fresh block — so views handed out
+// earlier stay valid forever, and the capacity cap makes any append on a
+// view copy out instead of clobbering a neighbour.
+type arena[T any] struct {
+	cur []T
+}
+
+// arenaBlock is the element count of one arena block. At 1<<14 a
+// 100k-template load needs ~100 blocks per arena for typical template
+// lengths — far below the one-object-per-template baseline.
+const arenaBlock = 1 << 14
+
+func (a *arena[T]) copyIn(src []T) []T {
+	n := len(src)
+	if n == 0 {
+		return nil
+	}
+	if len(a.cur)+n > cap(a.cur) {
+		size := arenaBlock
+		if n > size {
+			size = n
+		}
+		a.cur = make([]T, 0, size)
+	}
+	lo := len(a.cur)
+	a.cur = append(a.cur, src...)
+	return a.cur[lo : lo+n : lo+n]
+}

@@ -110,11 +110,16 @@ func compareDetectors(t *testing.T, label string, a, b *Detector) {
 	}
 }
 
-// TestStreamPruningEquivalence drives the indexed serving path against
-// (1) the same scan with pruning disabled and (2) the retained reference
-// scan, over randomized corpora with interleaved flushes. Assignments,
-// template order, and DocCounts must be byte-identical: the lower bound
-// may only skip templates that provably cannot win.
+// TestStreamPruningEquivalence drives the tiered serving path — bucket
+// skips, saturated-token credits, best-first candidate ordering, the
+// bit-parallel distance refinement — against (1) the same scan with every
+// pruning tier disabled and (2) the retained reference scan, over
+// randomized corpora with interleaved flushes, then replays the corpus
+// through AddBatch at several worker counts against the same no-prune
+// oracle. Assignments, template order, and DocCounts must be
+// byte-identical everywhere: the bounds may only skip templates that
+// provably cannot win, and reordering may not change which template wins
+// a tie.
 func TestStreamPruningEquivalence(t *testing.T) {
 	for seed := int64(1); seed <= 5; seed++ {
 		rng := rand.New(rand.NewSource(seed))
@@ -158,6 +163,30 @@ func TestStreamPruningEquivalence(t *testing.T) {
 		}
 		if probeStats.Candidates > 0 && probeStats.DPPruned == 0 {
 			t.Errorf("seed %d: lower bound never pruned a candidate", seed)
+		}
+		if probeStats.Examined > 0 && probeStats.BitDPRuns == 0 {
+			t.Errorf("seed %d: bit-parallel refinement never ran", seed)
+		}
+
+		// The same corpus through the batched fan-out at several worker
+		// counts must land on the no-prune oracle's exact state too — the
+		// tiered path stays verdict-identical under both pruning and
+		// parallel scheduling.
+		for _, workers := range []int{1, 2, 4} {
+			d := New(core.Options{Workers: workers})
+			d.BatchSize = 1 << 30
+			// Segment exactly at the serial loop's flush points (after docs
+			// len/3 and 2·len/3) so both mine identical batches.
+			cut1, cut2 := len(docs)/3+1, 2*len(docs)/3+1
+			for _, seg := range [][]string{docs[:cut1], docs[cut1:cut2], docs[cut2:]} {
+				d.AddBatch(seg)
+				d.Flush()
+			}
+			compareDetectors(t, fmt.Sprintf("seed %d workers %d", seed, workers), full, d)
+			if st := d.Stats(); st.DPPruned+st.DPRuns != st.Candidates {
+				t.Fatalf("seed %d workers %d: pruned %d + runs %d != candidates %d",
+					seed, workers, st.DPPruned, st.DPRuns, st.Candidates)
+			}
 		}
 	}
 }

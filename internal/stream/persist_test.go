@@ -6,20 +6,27 @@ import (
 	"reflect"
 	"testing"
 
+	"infoshield/internal/align"
 	"infoshield/internal/core"
 )
 
-// expectedIndex recomputes the inverted candidate-pruning index from a
-// template set from scratch — an independent reimplementation the tests
-// compare the incrementally-maintained d.index against.
-func expectedIndex(templates []Template) map[int][]posting {
-	want := make(map[int][]posting)
+// refPosting mirrors one postings entry for the from-scratch rebuild the
+// tests compare the incrementally-maintained tiered index against.
+type refPosting struct{ template, count int }
+
+// expectedIndex recomputes, independently of the index code, everything a
+// probe reads: token → postings (template ascending, as registration
+// appends), the saturated-token set, and the per-bucket membership.
+func expectedIndex(templates []Template) (post map[int][]refPosting, sat map[int]bool, members [numBuckets][]int32) {
+	post = make(map[int][]refPosting)
 	for ti := range templates {
 		t := &templates[ti]
 		counts := make(map[int]int)
 		order := make([]int, 0, len(t.Tokens))
+		slots := 0
 		for i, tok := range t.Tokens {
 			if t.Wild[i] {
+				slots++
 				continue
 			}
 			if counts[tok] == 0 {
@@ -27,26 +34,124 @@ func expectedIndex(templates []Template) map[int][]posting {
 			}
 			counts[tok]++
 		}
+		align.SortInts(order)
 		for _, tok := range order {
-			want[tok] = append(want[tok], posting{template: ti, count: counts[tok]})
+			post[tok] = append(post[tok], refPosting{template: ti, count: counts[tok]})
+		}
+		b := bucketOf(len(t.Tokens) - slots)
+		members[b] = append(members[b], int32(ti))
+	}
+	sat = make(map[int]bool)
+	for tok, ps := range post {
+		if len(ps) > satThreshold {
+			sat[tok] = true
+			delete(post, tok)
 		}
 	}
-	return want
+	return post, sat, members
 }
 
+// checkIndex requires the live tiered index — postings chains, saturation
+// marks, bucket membership and aggregates, and the per-template matcher
+// metadata including the bit-parallel mask tables — to equal a
+// from-scratch recomputation.
 func checkIndex(t *testing.T, label string, d *Detector) {
 	t.Helper()
-	want := expectedIndex(d.templates)
-	if len(want) == 0 {
-		want = nil
+	wantPost, wantSat, wantMembers := expectedIndex(d.templates)
+
+	got := make(map[int][]refPosting)
+	st := &d.index.store
+	for tok := range st.heads {
+		h := st.heads[tok]
+		if h == satHead {
+			if !wantSat[tok] {
+				t.Fatalf("%s: token %d saturated in index but carried by ≤ %d templates",
+					label, tok, satThreshold)
+			}
+			continue
+		}
+		for ci := h; ci != noHead; ci = st.chunks[ci].next {
+			ch := &st.chunks[ci]
+			for k := 0; k < int(ch.n); k++ {
+				x := int(ch.tmpl[k])
+				if int(ch.bucket) != int(d.index.meta[x].bucket) {
+					t.Fatalf("%s: token %d chunk bucket %d holds template %d of bucket %d",
+						label, tok, ch.bucket, x, d.index.meta[x].bucket)
+				}
+				got[tok] = append(got[tok], refPosting{template: x, count: int(ch.cnt[k])})
+			}
+		}
 	}
-	got := d.index.postings
+	if len(wantPost) == 0 {
+		wantPost = nil
+	}
 	if len(got) == 0 {
 		got = nil
 	}
-	if !reflect.DeepEqual(got, want) {
-		t.Fatalf("%s: inverted index diverged from a full rebuild (%d vs %d tokens)",
-			label, len(got), len(want))
+	if !reflect.DeepEqual(got, wantPost) {
+		t.Fatalf("%s: postings diverged from a full rebuild (%d vs %d tokens)",
+			label, len(got), len(wantPost))
+	}
+	for tok := range wantSat {
+		if tok >= len(st.heads) || st.heads[tok] != satHead {
+			t.Fatalf("%s: token %d carried by > %d templates but not saturated", label, tok, satThreshold)
+		}
+	}
+
+	for b := range d.index.buckets {
+		bi := &d.index.buckets[b]
+		if !reflect.DeepEqual(bi.members, wantMembers[b]) {
+			t.Fatalf("%s: bucket %d members %v, want %v", label, b, bi.members, wantMembers[b])
+		}
+		if len(bi.members) == 0 {
+			continue
+		}
+		cmax, rmin, smin, smax := 0, 1<<30, 1<<30, 0
+		for _, x := range bi.members {
+			mt := &d.index.meta[x]
+			if c := int(mt.constCnt); c > cmax {
+				cmax = c
+			}
+			if r := int(mt.refLen); r < rmin {
+				rmin = r
+			}
+			if s := int(mt.slots); s < smin {
+				smin = s
+			}
+			if s := int(mt.slots); s > smax {
+				smax = s
+			}
+		}
+		if bi.cmax != cmax || bi.rmin != rmin || bi.smin != smin || bi.smax != smax {
+			t.Fatalf("%s: bucket %d aggregates (%d,%d,%d,%d), want (%d,%d,%d,%d)",
+				label, b, bi.cmax, bi.rmin, bi.smin, bi.smax, cmax, rmin, smin, smax)
+		}
+	}
+
+	if len(d.index.meta) != len(d.templates) {
+		t.Fatalf("%s: %d meta entries for %d templates", label, len(d.index.meta), len(d.templates))
+	}
+	for ti := range d.templates {
+		tm := &d.templates[ti]
+		mt := &d.index.meta[ti]
+		slots := 0
+		for _, w := range tm.Wild {
+			if w {
+				slots++
+			}
+		}
+		if int(mt.refLen) != len(tm.Tokens) || int(mt.slots) != slots ||
+			int(mt.constCnt) != len(tm.Tokens)-slots || int(mt.bucket) != bucketOf(len(tm.Tokens)-slots) {
+			t.Fatalf("%s: template %d meta %+v inconsistent with template", label, ti, *mt)
+		}
+		if len(tm.Tokens) > align.WildBitCap {
+			continue
+		}
+		wildMask, eqToks, eqMasks := align.WildEqMasks(tm.Tokens, tm.Wild)
+		if mt.wildMask != wildMask || !reflect.DeepEqual(append([]int32{}, mt.eqToks...), append([]int32{}, eqToks...)) ||
+			!reflect.DeepEqual(append([]uint64{}, mt.eqMasks...), append([]uint64{}, eqMasks...)) {
+			t.Fatalf("%s: template %d mask table diverged from align.WildEqMasks", label, ti)
+		}
 	}
 }
 

@@ -1,0 +1,76 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"infoshield/internal/core"
+	"infoshield/internal/datagen"
+)
+
+// TestStreamScaleSmoke bulk-loads a 1k-template multi-market set through
+// Register and checks, probe by probe, that the tiered index — bucket
+// skips, saturated-token credits (the shared serving words are carried by
+// hundreds of templates), best-first ordering, and the bit-parallel
+// refinement — returns exactly the reference scan's verdict while
+// examining a small fraction of the template set. This keeps the scale
+// configuration of the matcher exercised in tier-1 `go test`, not only
+// under `make bench-scale`.
+func TestStreamScaleSmoke(t *testing.T) {
+	set := datagen.ScaleTemplates(datagen.ScaleConfig{Seed: 7, Templates: 1000})
+	d := New(core.Options{})
+	d.BatchSize = 1 << 30
+	for i, tmpl := range set.Templates {
+		ti, err := d.Register(tmpl.Words, tmpl.Wild)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ti != i {
+			t.Fatalf("Register returned index %d, want %d", ti, i)
+		}
+	}
+	checkIndex(t, "after bulk load", d)
+
+	rng := rand.New(rand.NewSource(11))
+	matched := 0
+	for k := 0; k < 120; k++ {
+		var text string
+		if k%4 == 3 {
+			text = set.Noise(rng)
+		} else {
+			text = set.Probe(rng, rng.Intn(len(set.Templates)))
+		}
+		toks := d.vocab.Encode(d.tk.Tokens(text))
+		verdict := d.match(toks, d.vocab.Size(), &d.sc, &d.stats)
+		if ref := referenceMatch(d, toks); verdict != ref {
+			t.Fatalf("probe %d: tiered verdict %d != reference %d", k, verdict, ref)
+		}
+		if verdict >= 0 {
+			matched++
+		}
+		d.apply(text, verdict)
+	}
+	if matched < 60 {
+		t.Fatalf("only %d/120 probes matched — generator and matcher out of tune", matched)
+	}
+
+	st := d.Stats()
+	if st.DPPruned+st.DPRuns != st.Candidates {
+		t.Fatalf("pruned %d + runs %d != candidates %d", st.DPPruned, st.DPRuns, st.Candidates)
+	}
+	// Sublinearity in miniature: at 1000 templates a probe must reach the
+	// per-candidate scan with far fewer than numT survivors on average.
+	if st.Examined*10 > st.Candidates {
+		t.Fatalf("examined %d of %d candidates — tiered pruning not engaging", st.Examined, st.Candidates)
+	}
+	hist := 0
+	for _, c := range st.CandHist {
+		hist += c
+	}
+	if hist != st.Probes {
+		t.Fatalf("histogram mass %d != probes %d", hist, st.Probes)
+	}
+	if st.BitDPRuns == 0 {
+		t.Fatal("bit-parallel refinement never ran")
+	}
+}

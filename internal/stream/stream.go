@@ -10,16 +10,20 @@
 // over it to mine new templates. Everything stays deterministic for a
 // given input order.
 //
-// The serving hot path scales with the template set: an inverted index
-// over constant tokens feeds an admissible MDL lower bound that skips the
-// wildcard-alignment DP for templates that cannot win (see index.go), a
-// per-goroutine scratch makes the surviving DPs allocation-free, and
-// AddBatch fans the match phase across Options.Workers with verdicts
-// applied in arrival order — byte-identical to serial Adds for any worker
-// count.
+// The serving hot path scales sublinearly with the template set: a tiered
+// postings index over constant tokens (bucket-level bound skips, flat
+// chunk slabs, saturated-token credits — see index.go) generates a small
+// best-first candidate set, admissible MDL lower bounds — including a
+// bit-parallel exact-distance refinement — skip the wildcard-alignment DP
+// for candidates that cannot win, a per-goroutine scratch makes the
+// surviving DPs allocation-free, template payloads live in contiguous
+// arenas, and AddBatch fans the match phase across Options.Workers with
+// verdicts applied in arrival order — byte-identical to serial Adds for
+// any worker count.
 package stream
 
 import (
+	"fmt"
 	"strings"
 
 	"infoshield/internal/core"
@@ -63,6 +67,14 @@ type Detector struct {
 	vocab     *tokenize.Vocab
 	templates []Template
 	index     tmplIndex
+
+	// Template payloads are packed into arenas (contiguous blocks shared
+	// across templates) so the probe hot loop reads sequential memory;
+	// ones is the shared all-ones vector every template's SlotWords (and
+	// the index's bucket bounds) slice a prefix of.
+	tokA  arena[int]
+	wildA arena[bool]
+	ones  []int
 
 	pendingTexts []string
 	pendingIDs   []int       // caller-visible doc ids of buffered docs
@@ -261,10 +273,13 @@ func (d *Detector) batchSize() int {
 	return d.BatchSize
 }
 
-// register appends a template, precomputing its canned SlotWords vector
-// and indexing its constant tokens. Every template — mined by Flush or
-// restored by Load — enters through here, so the inverted index is always
-// in sync with the template set.
+// register appends a template — payloads copied into the detector's
+// arenas, SlotWords sliced from the shared all-ones vector — and indexes
+// its constant tokens. Every template — mined by Flush, restored by Load,
+// or bulk-loaded by Register — enters through here, so the tiered index
+// is always in sync with the template set. Registration reuses the
+// index's pooled scratch: loading a 100k-template snapshot allocates a
+// few arena blocks, not two maps per template.
 func (d *Detector) register(t Template) {
 	slots := 0
 	for _, w := range t.Wild {
@@ -272,13 +287,43 @@ func (d *Detector) register(t Template) {
 			slots++
 		}
 	}
-	t.SlotWords = make([]int, slots)
-	for i := range t.SlotWords {
-		t.SlotWords[i] = 1
+	for len(d.ones) < slots {
+		d.ones = append(d.ones, 1)
 	}
+	t.SlotWords = d.ones[:slots:slots]
+	t.Tokens = d.tokA.copyIn(t.Tokens)
+	t.Wild = d.wildA.copyIn(t.Wild)
 	ti := len(d.templates)
 	d.templates = append(d.templates, t)
-	d.index.add(ti, &d.templates[ti])
+	d.index.add(ti, t.Tokens, t.Wild, slots)
+}
+
+// Register adds one template directly, bypassing mining — the bulk-load
+// path for serving processes that receive template sets mined elsewhere.
+// words and wild run in lockstep; words at wild positions are ignored
+// (slots match any token, exactly as in templates restored by Load).
+// Returns the new template's index. DocCount starts at zero and counts
+// streaming matches from here on.
+func (d *Detector) Register(words []string, wild []bool) (int, error) {
+	if len(words) != len(wild) {
+		return 0, fmt.Errorf("stream: register: %d words vs %d wild flags", len(words), len(wild))
+	}
+	if len(words) == 0 {
+		return 0, fmt.Errorf("stream: register: empty template")
+	}
+	t := Template{
+		Wild:   append([]bool(nil), wild...),
+		Tokens: make([]int, len(words)),
+	}
+	for i, w := range words {
+		if wild[i] {
+			continue
+		}
+		t.Tokens[i] = d.vocab.Add(w)
+	}
+	ti := len(d.templates)
+	d.register(t)
+	return ti, nil
 }
 
 // Flush mines the buffered documents with the batch pipeline, appending

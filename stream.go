@@ -76,28 +76,53 @@ func (s *StreamDetector) Pending() int { return s.d.Pending() }
 // StreamStats reports the cumulative work of the serving path's template
 // matcher — the streaming analogue of Result.Timings(). DPPruned over
 // Candidates is the DP-skip rate: the fraction of template comparisons
-// the inverted-index lower bound resolved without running the wildcard
-// alignment.
+// the tiered index and its admissible lower bounds resolved without
+// running the wildcard alignment.
 type StreamStats struct {
 	// Probes counts documents tested against a non-empty template set.
 	Probes int
 	// Candidates counts template candidates considered across all probes.
 	Candidates int
+	// Examined counts candidates that survived the tiered index's bucket
+	// and mass pruning and reached the per-candidate bounds.
+	Examined int
 	// DPRuns counts full wildcard-alignment DPs executed.
 	DPRuns int
-	// DPPruned counts candidates skipped by the admissible lower bound.
+	// DPPruned counts candidates skipped by the admissible lower bounds
+	// (bucket skips, mass prunes, and per-candidate rejections).
 	DPPruned int
+	// BitDPRuns counts bit-parallel exact-distance evaluations.
+	BitDPRuns int
+	// BitDPPruned counts candidates the exact-distance refinement
+	// rejected after the overlap bound had passed them.
+	BitDPPruned int
+	// CandHist is the log2 histogram of per-probe examined-candidate
+	// counts: bucket k counts probes whose surviving set had
+	// ⌈lg(n+1)⌉ = k candidates.
+	CandHist [stream.CandHistBuckets]int
 }
 
 // Stats returns the serving-path counters accumulated since creation.
 func (s *StreamDetector) Stats() StreamStats {
 	st := s.d.Stats()
 	return StreamStats{
-		Probes:     st.Probes,
-		Candidates: st.Candidates,
-		DPRuns:     st.DPRuns,
-		DPPruned:   st.DPPruned,
+		Probes:      st.Probes,
+		Candidates:  st.Candidates,
+		Examined:    st.Examined,
+		DPRuns:      st.DPRuns,
+		DPPruned:    st.DPPruned,
+		BitDPRuns:   st.BitDPRuns,
+		BitDPPruned: st.BitDPPruned,
+		CandHist:    st.CandHist,
 	}
+}
+
+// RegisterTemplate adds one template directly, bypassing mining — the
+// bulk-load path for serving processes that receive template sets mined
+// elsewhere. words and wild run in lockstep; words at wild positions are
+// ignored (slots match any token). Returns the new template's index.
+func (s *StreamDetector) RegisterTemplate(words []string, wild []bool) (int, error) {
+	return s.d.Register(words, wild)
 }
 
 // Save serializes the mined templates (not the pending buffer — call

@@ -48,6 +48,32 @@ func TestStreamDetectorFacade(t *testing.T) {
 	if st.DPRuns+st.DPPruned != st.Candidates {
 		t.Errorf("stats out of balance: %+v", st)
 	}
+	if st.Examined > st.Candidates {
+		t.Errorf("examined %d exceeds candidates %d", st.Examined, st.Candidates)
+	}
+	histMass := 0
+	for _, c := range st.CandHist {
+		histMass += c
+	}
+	if histMass != st.Probes {
+		t.Errorf("candidate histogram mass %d != probes %d", histMass, st.Probes)
+	}
+
+	// Bulk-load path: a hand-registered template (slot at the "_") serves
+	// immediately, without a mining pass.
+	rti, err := s.RegisterTemplate(
+		[]string{"mega", "clearance", "single", "day", "event", "_", "doors", "open", "early"},
+		[]bool{false, false, false, false, false, true, false, false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id = s.Add("mega clearance single day event code77 doors open early")
+	if tpl, pending := s.Template(id); tpl != rti || pending {
+		t.Errorf("registered template not matched: tpl=%d want %d pending=%v", tpl, rti, pending)
+	}
+	if _, err := s.RegisterTemplate([]string{"a"}, []bool{true, false}); err == nil {
+		t.Error("mismatched words/wild accepted")
+	}
 
 	// Save / Load round-trips through the facade.
 	var buf bytes.Buffer
