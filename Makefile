@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test build vet race fuzz fuzz-stream fuzz-serve bench bench-coarse bench-json bench-scale bench-all experiments
+.PHONY: check test build vet vet-fast race race-short fuzz fuzz-stream fuzz-serve bench bench-coarse bench-json bench-scale bench-all experiments
 
 ## check: the full gate — vet (go vet + infoshield-vet), build, and
 ## race-enabled tests.
@@ -12,11 +12,23 @@ build:
 	$(GO) build ./...
 
 ## vet: go vet plus the project's own static-analysis suite
-## (cmd/infoshield-vet: maporder, looprace, floateq, ctxerr). Must exit 0
-## with zero unsuppressed findings.
+## (cmd/infoshield-vet: maporder, looprace, floateq, ctxerr, and the
+## interprocedural scratchalias, goleak, atomicmix, chanproto). Must
+## exit 0 with zero unsuppressed findings. Pass extra infoshield-vet
+## flags through VET_FLAGS, e.g.
+## `make vet VET_FLAGS='-json -sarif infoshield-vet.sarif'`.
+VET_FLAGS ?=
 vet:
 	$(GO) vet ./...
-	$(GO) run ./cmd/infoshield-vet
+	$(GO) run ./cmd/infoshield-vet $(VET_FLAGS)
+
+## vet-fast: incremental re-run — analyzes only packages with files
+## newer than the .vet-stamp left by the previous clean vet-fast run
+## (first run is a full pass). The module is still fully type-checked,
+## so interprocedural facts stay exact.
+vet-fast:
+	$(GO) run ./cmd/infoshield-vet -since .vet-stamp $(VET_FLAGS)
+	@touch .vet-stamp
 
 test:
 	$(GO) test ./...
@@ -25,6 +37,12 @@ test:
 ## worker-equivalence gate keeps this tractable in CI.
 race:
 	$(GO) test -race ./...
+
+## race-short: the CI-shaped race run — -short trims the scale suites to
+## the 1k-template concurrent AddBatch exercise of the arena and index
+## paths (TestScaleRaceShort) so the detector still covers them.
+race-short:
+	$(GO) test -race -short ./...
 
 ## fuzz: a bounded burst of the Workers:1-vs-Workers:4 determinism fuzzer.
 fuzz:

@@ -1,9 +1,12 @@
 // Command infoshield-vet runs the project's custom static-analysis suite
 // (internal/analysis) over every package of the module: determinism
 // (maporder), concurrency discipline (looprace), MDL-cost comparison
-// hygiene (floateq), and dropped results (ctxerr). It is stdlib-only —
-// the loader type-checks the module with go/parser and go/types, with no
-// golang.org/x/tools dependency.
+// hygiene (floateq), dropped results (ctxerr), and the interprocedural
+// fact-layer analyzers — pooled-memory escapes (scratchalias), goroutine
+// join discipline (goleak), atomic/plain access mixing and lock copies
+// (atomicmix), and channel shutdown protocol (chanproto). It is
+// stdlib-only — the loader type-checks the module with go/parser and
+// go/types, with no golang.org/x/tools dependency.
 //
 // Usage:
 //
@@ -11,6 +14,9 @@
 //
 //	-run  maporder,floateq   run only the named analyzers (default all)
 //	-json                    machine-readable output
+//	-sarif file              also write a SARIF 2.1.0 report to file
+//	-since stampfile         analyze only packages with files newer than
+//	                         the stamp's mtime (full run if it is absent)
 //	-baseline file           tolerate findings recorded in the baseline
 //	-write-baseline file     record current findings and exit 0
 //	-list                    print the analyzers and exit
@@ -43,6 +49,8 @@ func main() {
 func run() int {
 	runFlag := flag.String("run", "all", "comma-separated analyzers to run")
 	jsonFlag := flag.Bool("json", false, "emit findings as JSON")
+	sarifFlag := flag.String("sarif", "", "also write a SARIF 2.1.0 report to this file")
+	sinceFlag := flag.String("since", "", "stamp file: analyze only packages with files newer than its mtime")
 	baselineFlag := flag.String("baseline", "", "baseline file of accepted findings")
 	writeBaseline := flag.String("write-baseline", "", "write current findings to this baseline file and exit")
 	listFlag := flag.Bool("list", false, "list analyzers and exit")
@@ -75,7 +83,8 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "infoshield-vet:", err)
 		return 2
 	}
-	findings, suppressed := analysis.Run(mod, azs)
+	keep := keepFunc(mod, *sinceFlag)
+	findings, suppressed := analysis.RunFiltered(mod, azs, keep)
 
 	if *writeBaseline != "" {
 		if err := analysis.WriteBaseline(*writeBaseline, findings); err != nil {
@@ -125,8 +134,39 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "infoshield-vet: %d package(s), %d finding(s), %d baselined, %d suppressed\n",
 			len(mod.Pkgs), len(findings), len(baselined), len(suppressed))
 	}
+	if *sarifFlag != "" {
+		if err := analysis.WriteSARIF(*sarifFlag, azs, findings, baselined, suppressed); err != nil {
+			fmt.Fprintln(os.Stderr, "infoshield-vet:", err)
+			return 2
+		}
+	}
 	if len(findings) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// keepFunc builds the changed-package filter for -since: a package is
+// re-analyzed when any of its files is at least as new as the stamp.
+// With no stamp (or an unreadable one) every package runs — fast mode
+// degrades to a full run, never to a silent skip.
+func keepFunc(mod *analysis.Module, stamp string) func(*analysis.Package) bool {
+	if stamp == "" {
+		return nil
+	}
+	info, err := os.Stat(stamp)
+	if err != nil {
+		return nil
+	}
+	cutoff := info.ModTime()
+	return func(pkg *analysis.Package) bool {
+		for _, f := range pkg.Files {
+			name := mod.Fset.Position(f.Package).Filename
+			fi, err := os.Stat(name)
+			if err != nil || !fi.ModTime().Before(cutoff) {
+				return true
+			}
+		}
+		return false
+	}
 }

@@ -16,6 +16,24 @@
 //   - ctxerr — dropped errors and discarded (value, ok) results in
 //     non-test files.
 //
+// The interprocedural analyzers sit on the fact layer (facts.go):
+// per-function summaries, memoized bottom-up over the call DAG, plus
+// module-wide channel/WaitGroup/mutex and atomic-access indexes:
+//
+//   - scratchalias — a sub-slice or pointer derived from a pooled
+//     scratch or arena chunk must not escape its owner: no return, no
+//     store into a global or caller-visible struct, no channel send, no
+//     use after Reset/Put.
+//   - goleak — every spawned goroutine must signal completion (close,
+//     send, or WaitGroup.Done) and that signal must be joined (receive
+//     or Wait); WaitGroup.Add inside the spawned goroutine is flagged.
+//   - atomicmix — a field accessed via sync/atomic anywhere must never
+//     be plainly read or written elsewhere, and values transitively
+//     holding sync primitives must not be copied.
+//   - chanproto — double close, sends that can race a close on another
+//     path without a shared mutex, and close+send channels lacking a
+//     comma-ok/range drain (the serve shutdown protocol, DESIGN §7).
+//
 // Findings are suppressed by a justification comment on the offending
 // line or the line above it:
 //
@@ -67,8 +85,14 @@ type Pass struct {
 	Pkg *Package
 
 	analyzer *Analyzer
+	mod      *Module
 	root     string
 	diags    *[]Diagnostic
+}
+
+// Facts exposes the module's interprocedural fact layer to analyzers.
+func (p *Pass) Facts() *Facts {
+	return p.mod.Facts()
 }
 
 // Reportf records a finding at pos.
@@ -99,9 +123,10 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
-// Analyzers returns the full suite in reporting order.
+// Analyzers returns the full suite in reporting order: the intra-package
+// checks first, then the fact-layer analyzers.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapOrder, LoopRace, FloatEq, CtxErr}
+	return []*Analyzer{MapOrder, LoopRace, FloatEq, CtxErr, ScratchAlias, GoLeak, AtomicMix, ChanProto}
 }
 
 // ByName resolves a comma-separated analyzer list ("" or "all" selects
@@ -133,8 +158,21 @@ func ByName(list string) ([]*Analyzer, error) {
 // comment-suppressed findings, and returns the kept and suppressed
 // diagnostics, each sorted by file, line, and column.
 func Run(mod *Module, azs []*Analyzer) (kept, suppressed []Diagnostic) {
+	return RunFiltered(mod, azs, nil)
+}
+
+// RunFiltered is Run restricted to the packages keep reports true for;
+// a nil keep analyzes every package. The whole module is still loaded
+// and the fact layer still summarizes every function, so interprocedural
+// facts stay exact — only the per-package analyzer passes are skipped.
+// This is the engine behind `make vet-fast`: re-analyze only packages
+// with files newer than the last clean run.
+func RunFiltered(mod *Module, azs []*Analyzer, keep func(*Package) bool) (kept, suppressed []Diagnostic) {
 	var all []Diagnostic
 	for _, pkg := range mod.Pkgs {
+		if keep != nil && !keep(pkg) {
+			continue
+		}
 		all = append(all, runPackage(mod, pkg, azs)...)
 	}
 	index := suppressionIndex(mod)
@@ -154,6 +192,9 @@ func Run(mod *Module, azs []*Analyzer) (kept, suppressed []Diagnostic) {
 // golden-file tests on testdata packages) with the same suppression
 // filtering as Run.
 func RunPackage(mod *Module, pkg *Package, azs []*Analyzer) (kept, suppressed []Diagnostic) {
+	// Register the extra package so fact summaries and the op index see
+	// its functions before any analyzer queries them.
+	mod.Facts().AddPackage(pkg)
 	all := runPackage(mod, pkg, azs)
 	index := newSuppressions()
 	for _, f := range pkg.Files {
@@ -178,6 +219,7 @@ func runPackage(mod *Module, pkg *Package, azs []*Analyzer) []Diagnostic {
 			Fset:     mod.Fset,
 			Pkg:      pkg,
 			analyzer: az,
+			mod:      mod,
 			root:     mod.Root,
 			diags:    &diags,
 		}

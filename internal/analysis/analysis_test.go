@@ -122,6 +122,61 @@ func TestAnalyzerGolden(t *testing.T) {
 	}
 }
 
+// TestSeededRegressions runs each fact-layer analyzer over a package
+// seeded with a realistic bug copied from the shapes in internal/stream
+// and internal/serve — the escapes and races the suite exists to catch.
+// Each package carries exactly the bug its analyzer must find.
+func TestSeededRegressions(t *testing.T) {
+	repo := loadRepo(t)
+	cases := []struct{ dir, analyzer string }{
+		{"arenaleak", "scratchalias"},
+		{"drainleak", "goleak"},
+		{"statsrace", "atomicmix"},
+		{"shutdownrace", "chanproto"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			azs, err := analysis.ByName(tc.analyzer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := filepath.Join("testdata", "regress", tc.dir)
+			pkg, err := repo.LoadExtra(dir)
+			if err != nil {
+				t.Fatalf("LoadExtra(%s): %v", dir, err)
+			}
+			kept, suppressed := analysis.RunPackage(repo, pkg, azs)
+			want, wantSup := readWants(t, filepath.Join(dir, tc.dir+".go"))
+			if len(want) == 0 {
+				t.Fatal("regression package has no want markers")
+			}
+			matchDiags(t, "kept", kept, want)
+			matchDiags(t, "suppressed", suppressed, wantSup)
+		})
+	}
+}
+
+// TestSuppressionEdgeCases pins the vet:allow parsing rules: a
+// directive naming the wrong analyzer keeps the finding, a directive
+// above a multi-line statement covers only the statement's first line,
+// and a bare directive (no justification) never suppresses.
+func TestSuppressionEdgeCases(t *testing.T) {
+	repo := loadRepo(t)
+	azs, err := analysis.ByName("atomicmix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "suppress")
+	pkg, err := repo.LoadExtra(dir)
+	if err != nil {
+		t.Fatalf("LoadExtra(%s): %v", dir, err)
+	}
+	kept, suppressed := analysis.RunPackage(repo, pkg, azs)
+	want, wantSup := readWants(t, filepath.Join(dir, "suppress.go"))
+	matchDiags(t, "kept", kept, want)
+	matchDiags(t, "suppressed", suppressed, wantSup)
+}
+
 // TestRepoSelfCheck asserts the suite runs clean over this repository —
 // the same invariant `make vet` enforces, kept close to the analyzers so
 // a regression fails in the package that caused it.
@@ -135,8 +190,8 @@ func TestRepoSelfCheck(t *testing.T) {
 
 func TestByName(t *testing.T) {
 	all, err := analysis.ByName("all")
-	if err != nil || len(all) != 4 {
-		t.Fatalf("ByName(all) = %d analyzers, err %v; want 4, nil", len(all), err)
+	if err != nil || len(all) != 8 {
+		t.Fatalf("ByName(all) = %d analyzers, err %v; want 8, nil", len(all), err)
 	}
 	two, err := analysis.ByName("maporder, floateq")
 	if err != nil || len(two) != 2 {
@@ -153,7 +208,7 @@ func TestByName(t *testing.T) {
 func TestBaselineRoundTrip(t *testing.T) {
 	diags := []analysis.Diagnostic{
 		{Analyzer: "maporder", File: "a.go", Line: 3, Col: 2, Message: "m1"},
-		{Analyzer: "maporder", File: "a.go", Line: 9, Col: 2, Message: "m1"}, // same key, aggregated
+		{Analyzer: "maporder", File: "a.go", Line: 9, Col: 2, Message: "m1"}, // same key, occurrence 2
 		{Analyzer: "ctxerr", File: "b.go", Line: 1, Col: 1, Message: "m2"},
 	}
 	path := filepath.Join(t.TempDir(), "baseline.json")
@@ -163,6 +218,20 @@ func TestBaselineRoundTrip(t *testing.T) {
 	b, err := analysis.ReadBaseline(path)
 	if err != nil {
 		t.Fatalf("ReadBaseline: %v", err)
+	}
+	// Identical same-file findings are written as distinct entries with
+	// an occurrence index, so one of them can be burned down alone.
+	if len(b.Findings) != 3 {
+		t.Fatalf("got %d entries, want 3 (one per finding)", len(b.Findings))
+	}
+	occ := []int{}
+	for _, e := range b.Findings {
+		if e.Analyzer == "maporder" {
+			occ = append(occ, e.Occurrence)
+		}
+	}
+	if len(occ) != 2 || occ[0] != 1 || occ[1] != 2 {
+		t.Errorf("maporder occurrences = %v, want [1 2]", occ)
 	}
 	extra := analysis.Diagnostic{Analyzer: "floateq", File: "c.go", Line: 7, Col: 4, Message: "m3"}
 	fresh, baselined := b.Filter(append(diags, extra))
@@ -178,5 +247,41 @@ func TestBaselineRoundTrip(t *testing.T) {
 	fresh, _ = b.Filter([]analysis.Diagnostic{moved})
 	if len(fresh) != 0 {
 		t.Errorf("line drift invalidated baseline: %v", fresh)
+	}
+	// Burning down one occurrence shrinks the budget by exactly one.
+	trimmed := &analysis.Baseline{}
+	for _, e := range b.Findings {
+		if e.Analyzer == "maporder" && e.Occurrence == 2 {
+			continue
+		}
+		trimmed.Findings = append(trimmed.Findings, e)
+	}
+	fresh, baselined = trimmed.Filter(diags)
+	if len(fresh) != 1 || len(baselined) != 2 {
+		t.Errorf("after removing occurrence 2: fresh=%d baselined=%d, want 1/2", len(fresh), len(baselined))
+	}
+}
+
+// TestBaselineLegacyCount keeps read compatibility with the aggregated
+// format older baselines use: one entry with a count absorbs that many
+// identical findings.
+func TestBaselineLegacyCount(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	legacy := `{"findings":[{"analyzer":"maporder","file":"a.go","message":"m1","count":2}]}`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := analysis.ReadBaseline(path)
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+	diags := []analysis.Diagnostic{
+		{Analyzer: "maporder", File: "a.go", Line: 3, Message: "m1"},
+		{Analyzer: "maporder", File: "a.go", Line: 9, Message: "m1"},
+		{Analyzer: "maporder", File: "a.go", Line: 12, Message: "m1"},
+	}
+	fresh, baselined := b.Filter(diags)
+	if len(baselined) != 2 || len(fresh) != 1 {
+		t.Errorf("legacy count=2 absorbed %d, left %d fresh; want 2/1", len(baselined), len(fresh))
 	}
 }

@@ -14,9 +14,14 @@ type BaselineEntry struct {
 	Analyzer string `json:"analyzer"`
 	File     string `json:"file"`
 	Message  string `json:"message"`
-	// Count is how many identical findings the entry absorbs (several
-	// identical messages can occur in one file).
-	Count int `json:"count"`
+	// Occurrence disambiguates identical findings in one file: the first
+	// gets 1, the second 2, and so on. Each occurrence is its own entry,
+	// so burning down finding #2 of 3 is a one-line deletion.
+	Occurrence int `json:"occurrence,omitempty"`
+	// Count is the legacy aggregated form: one entry absorbing Count
+	// identical findings. Still honored on read; WriteBaseline now emits
+	// per-occurrence entries instead.
+	Count int `json:"count,omitempty"`
 }
 
 // Baseline is a burn-down list: findings recorded here are reported as
@@ -39,25 +44,32 @@ func ReadBaseline(path string) (*Baseline, error) {
 	return &b, nil
 }
 
-// WriteBaseline saves the diagnostics as a baseline file, aggregated and
-// deterministically ordered.
+// WriteBaseline saves the diagnostics as a baseline file, one entry per
+// finding with identical same-file findings disambiguated by an
+// occurrence index, deterministically ordered.
 func WriteBaseline(path string, diags []Diagnostic) error {
-	counts := make(map[string]*BaselineEntry)
-	var order []string
+	occ := make(map[string]int)
+	b := Baseline{}
 	for _, d := range diags {
 		k := d.key()
-		if e, ok := counts[k]; ok {
-			e.Count++
-			continue
+		occ[k]++
+		b.Findings = append(b.Findings, BaselineEntry{
+			Analyzer: d.Analyzer, File: d.File, Message: d.Message, Occurrence: occ[k],
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
 		}
-		counts[k] = &BaselineEntry{Analyzer: d.Analyzer, File: d.File, Message: d.Message, Count: 1}
-		order = append(order, k)
-	}
-	sort.Strings(order)
-	b := Baseline{}
-	for _, k := range order {
-		b.Findings = append(b.Findings, *counts[k])
-	}
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Message != c.Message {
+			return a.Message < c.Message
+		}
+		return a.Occurrence < c.Occurrence
+	})
 	data, err := json.MarshalIndent(&b, "", "  ")
 	if err != nil {
 		return err
@@ -65,7 +77,9 @@ func WriteBaseline(path string, diags []Diagnostic) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// Filter splits diagnostics into new findings and baselined ones.
+// Filter splits diagnostics into new findings and baselined ones. Each
+// per-occurrence entry absorbs one finding of its key; a legacy
+// aggregated entry absorbs Count.
 func (b *Baseline) Filter(diags []Diagnostic) (fresh, baselined []Diagnostic) {
 	budget := make(map[string]int)
 	for _, e := range b.Findings {

@@ -46,6 +46,7 @@ type Module struct {
 
 	byPath map[string]*types.Package
 	std    types.Importer
+	facts  *Facts
 }
 
 // FindModuleRoot walks up from dir to the nearest directory containing

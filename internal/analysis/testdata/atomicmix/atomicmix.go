@@ -1,0 +1,123 @@
+// Package atomicmix is golden-test input for the atomicmix analyzer.
+// Lines that must produce a finding carry a want marker with a substring
+// of the message; lines whose finding must be swallowed by a justified
+// vet:allow directive carry a want-suppressed marker. Unmarked
+// functions must stay clean.
+package atomicmix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counters is updated through sync/atomic in bump; that claims the hits
+// field for the atomic protocol everywhere in the module.
+type counters struct {
+	hits int64
+	miss int64
+}
+
+func bump(c *counters) { atomic.AddInt64(&c.hits, 1) }
+
+// PlainRead races bump's atomic increment.
+func PlainRead(c *counters) int64 {
+	return c.hits // want "plain access"
+}
+
+// PlainWrite races it too — stores are no safer than loads.
+func PlainWrite(c *counters) {
+	c.hits = 0 // want "plain access"
+}
+
+// AtomicRead uses the protocol — clean.
+func AtomicRead(c *counters) int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// PlainUntracked reads miss, which no atomic site touches — clean.
+func PlainUntracked(c *counters) int64 {
+	return c.miss
+}
+
+// gauge uses a typed atomic: method-only access is immune by
+// construction, which is the fix the analyzer suggests.
+type gauge struct{ hw atomic.Int64 }
+
+// Observe is clean: typed atomics cannot be accessed plainly.
+func (g *gauge) Observe(v int64) {
+	if v > g.hw.Load() {
+		g.hw.Store(v)
+	}
+}
+
+// guarded transitively holds a sync.Mutex, so copying it by value forks
+// the lock state.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Snapshot has a value receiver: every call copies the mutex.
+func (g guarded) Snapshot() int { // want "value receiver"
+	return g.n
+}
+
+// Read takes the lock through a pointer receiver — clean.
+func (g *guarded) Read() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// CopyAssign dereferences into a plain value, copying the mutex.
+func CopyAssign(g *guarded) int {
+	snapshot := *g // want "assignment copies"
+	return snapshot.n
+}
+
+// takesValue has a by-value lock-bearing parameter; the analyzer flags
+// the call sites that feed it, not the declaration.
+func takesValue(g guarded) int { return g.n }
+
+// CopyArg passes the lock-bearing struct by value.
+func CopyArg(g *guarded) int {
+	return takesValue(*g) // want "call argument"
+}
+
+// takesPtr and PointerArg show the clean shape.
+func takesPtr(g *guarded) int { return g.n }
+
+func PointerArg(g *guarded) int {
+	return takesPtr(g)
+}
+
+// RangeCopy copies each element — and its mutex — into the loop
+// variable.
+func RangeCopy(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want "range value"
+		total += g.n
+	}
+	return total
+}
+
+// RangeIndex iterates by index — clean.
+func RangeIndex(gs []guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].n
+	}
+	return total
+}
+
+// SuppressedSnapshot reads the counter plainly after all writers have
+// been joined; the justified directive documents the happens-before.
+func SuppressedSnapshot(c *counters) int64 {
+	return c.hits //vet:allow atomicmix read-after-join at shutdown, no concurrent writers // want-suppressed "plain access"
+}
+
+// BareSnapshot shows that a bare directive does not suppress.
+func BareSnapshot(c *counters) int64 {
+	//vet:allow atomicmix
+	return c.hits // want "plain access"
+}

@@ -1,0 +1,140 @@
+// Package chanproto is golden-test input for the chanproto analyzer.
+// Lines that must produce a finding carry a want marker with a substring
+// of the message; lines whose finding must be swallowed by a justified
+// vet:allow directive carry a want-suppressed marker. Unmarked
+// functions must stay clean.
+package chanproto
+
+import "sync"
+
+// dc is closed from two owners: the second close panics.
+type dc struct{ ch chan int }
+
+func (d *dc) closeA() {
+	close(d.ch) // want "closed at 2 sites"
+}
+
+func (d *dc) closeB() {
+	close(d.ch) // want "closed at 2 sites"
+}
+
+// single has exactly one close and no senders — clean.
+type single struct{ ch chan int }
+
+func (s *single) shutdown() { close(s.ch) }
+
+func (s *single) recv() (int, bool) {
+	v, ok := <-s.ch
+	return v, ok
+}
+
+// racer sends in one function and closes in another with no shared
+// mutex: the interleaving send-on-closed panics.
+type racer struct{ ch chan int }
+
+func (r *racer) produce(v int) {
+	r.ch <- v // want "can race its close"
+}
+
+func (r *racer) shutdown() { close(r.ch) }
+
+func (r *racer) drain() (int, bool) {
+	v, ok := <-r.ch
+	return v, ok
+}
+
+// gated is the serve accept-gate shape: sends run under mu.RLock after
+// checking closed; Close flips closed and closes under mu.Lock. The
+// shared mutex orders the two critical sections — clean.
+type gated struct {
+	mu     sync.RWMutex
+	closed bool
+	ch     chan int
+}
+
+func (g *gated) produce(v int) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if !g.closed {
+		g.ch <- v
+	}
+}
+
+func (g *gated) shutdown() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.closed {
+		g.closed = true
+		close(g.ch)
+	}
+}
+
+func (g *gated) drain() (int, bool) {
+	v, ok := <-g.ch
+	return v, ok
+}
+
+// Sequential is the local producer pattern: send then close in one
+// function is ordered, and the consumer receives through the caller's
+// own variable — clean.
+func Sequential() chan int {
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+	return ch
+}
+
+// nodrain closes a sent-on channel whose only receive is the plain
+// form: after close the consumer reads zero values instead of stopping.
+type nodrain struct{ ch chan int }
+
+func (n *nodrain) run(vs []int) {
+	for _, v := range vs {
+		n.ch <- v
+	}
+	close(n.ch) // want "no receive uses the comma-ok or range form"
+}
+
+func (n *nodrain) recv() int { return <-n.ch }
+
+// drained shows the fix: the consumer ranges until close.
+type drained struct{ ch chan int }
+
+func (d *drained) run(vs []int) {
+	for _, v := range vs {
+		d.ch <- v
+	}
+	close(d.ch)
+}
+
+func (d *drained) consume() int {
+	total := 0
+	for v := range d.ch {
+		total += v
+	}
+	return total
+}
+
+// sup documents two close paths that a constructor flag makes mutually
+// exclusive; the justified directives suppress both findings.
+type sup struct{ ch chan int }
+
+func (s *sup) closeA() {
+	close(s.ch) //vet:allow chanproto paired closes are mutually exclusive via ctor flag // want-suppressed "closed at 2 sites"
+}
+
+func (s *sup) closeB() {
+	close(s.ch) //vet:allow chanproto paired closes are mutually exclusive via ctor flag // want-suppressed "closed at 2 sites"
+}
+
+// bare shows that a bare directive does not suppress.
+type bare struct{ ch chan int }
+
+func (b *bare) closeA() {
+	//vet:allow chanproto
+	close(b.ch) // want "closed at 2 sites"
+}
+
+func (b *bare) closeB() {
+	close(b.ch) // want "closed at 2 sites"
+}

@@ -1,0 +1,34 @@
+// Package arenaleak seeds the ISSUE's example bug against the shapes
+// in internal/stream: a token arena hands out views into its slab, and
+// an index method returns one of those views to a caller that outlives
+// the arena's next reset. scratchalias must charge the escape to the
+// index method, two call levels from the raw slice op.
+package arenaleak
+
+// tokenArena mirrors the stream detector's arena: one backing slab,
+// copyIn appends and returns a view into it.
+type tokenArena struct{ slab []uint32 }
+
+func (a *tokenArena) copyIn(toks []uint32) []uint32 {
+	n := len(a.slab)
+	a.slab = append(a.slab, toks...)
+	return a.slab[n:]
+}
+
+// index mirrors internal/stream/index.go: it owns the arena and
+// registers token views backed by it.
+type index struct {
+	arena tokenArena
+}
+
+// TokensOf is the seeded bug: the arena view escapes to the caller.
+func (ix *index) TokensOf(toks []uint32) []uint32 {
+	view := ix.arena.copyIn(toks)
+	return view // want "returns memory backed by pooled scratch"
+}
+
+// TokensCopy is the fix the real code uses — copy before returning.
+func (ix *index) TokensCopy(toks []uint32) []uint32 {
+	view := ix.arena.copyIn(toks)
+	return append([]uint32(nil), view...)
+}

@@ -1,0 +1,38 @@
+// Package shutdownrace seeds a send/close race against serve's accept
+// gate: Close closes the channel under the write lock, but enqueue
+// forgot to take the read lock — the closed check is unsynchronized and
+// the send can land on a closed channel. chanproto must flag the send.
+package shutdownrace
+
+import "sync"
+
+// queue mirrors the serve daemon's request queue.
+type queue struct {
+	mu     sync.RWMutex
+	closed bool
+	ch     chan int
+}
+
+// enqueue is the seeded bug: no q.mu.RLock around the check-then-send.
+func (q *queue) enqueue(v int) bool {
+	if q.closed {
+		return false
+	}
+	q.ch <- v // want "can race its close"
+	return true
+}
+
+// Close is correct: flips closed and closes under the write lock.
+func (q *queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+}
+
+func (q *queue) drain() (int, bool) {
+	v, ok := <-q.ch
+	return v, ok
+}

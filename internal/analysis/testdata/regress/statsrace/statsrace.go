@@ -1,0 +1,32 @@
+// Package statsrace seeds a mixed-access race against the daemon's
+// stats-counter shape: the hot path bumps counters through sync/atomic,
+// and a snapshot method reads them plainly — atomicmix must flag both
+// plain reads.
+package statsrace
+
+import "sync/atomic"
+
+// stats mirrors the serving daemon's counter block.
+type stats struct {
+	matched  int64
+	rejected int64
+}
+
+// record is the hot path: atomic updates, called from many goroutines.
+func (s *stats) record(hit bool) {
+	if hit {
+		atomic.AddInt64(&s.matched, 1)
+	} else {
+		atomic.AddInt64(&s.rejected, 1)
+	}
+}
+
+// Snapshot is the seeded bug: plain reads racing the atomic adds.
+func (s *stats) Snapshot() (int64, int64) {
+	return s.matched, s.rejected // want "plain access" "plain access"
+}
+
+// SnapshotAtomic is the fix.
+func (s *stats) SnapshotAtomic() (int64, int64) {
+	return atomic.LoadInt64(&s.matched), atomic.LoadInt64(&s.rejected)
+}

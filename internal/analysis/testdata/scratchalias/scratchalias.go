@@ -1,0 +1,174 @@
+// Package scratchalias is golden-test input for the scratchalias
+// analyzer. Lines that must produce a finding carry a want marker with a
+// substring of the message; lines whose finding must be swallowed by a
+// justified vet:allow directive carry a want-suppressed marker.
+// Unmarked functions must stay clean.
+package scratchalias
+
+import "sync"
+
+// scratch is a pool-like type by name: its buffers are recycled by
+// Reset, so memory derived from them must not outlive the borrow.
+type scratch struct {
+	buf []int
+	out []int
+}
+
+// Reset recycles the buffers.
+func (s *scratch) Reset() {
+	s.buf = s.buf[:0]
+	s.out = s.out[:0]
+}
+
+// grow is the pooled-buffer helper idiom: the returned slice aliases
+// *p, and the fact layer records that so callers inherit the taint.
+func grow(p *[]int, n int) []int {
+	if cap(*p) < n {
+		*p = make([]int, n)
+	}
+	return (*p)[:n]
+}
+
+// owner embeds a scratch it owns; findings fire against this root.
+type owner struct {
+	sc   scratch
+	keep []int
+}
+
+var global []int
+
+// ReturnLeak returns a view of the owned scratch buffer directly.
+func (o *owner) ReturnLeak() []int {
+	v := o.sc.buf[:2]
+	return v // want "returns memory backed by pooled scratch"
+}
+
+// ReturnCopy copies the borrowed view out first — the documented fix.
+func (o *owner) ReturnCopy() []int {
+	v := o.sc.buf[:2]
+	return append([]int(nil), v...)
+}
+
+// ReturnViaHelper leaks through grow: the callee's return-alias fact
+// maps the result back to &o.sc.buf.
+func (o *owner) ReturnViaHelper(n int) []int {
+	v := grow(&o.sc.buf, n)
+	return v // want "returns memory backed by pooled scratch"
+}
+
+// extern receives the pool as a parameter: it is pool plumbing, so no
+// finding fires here — the fact layer propagates the aliasing up.
+func extern(sc *scratch, n int) []int {
+	return grow(&sc.buf, n)
+}
+
+// ReturnViaExtern owns the pool it hands to extern, so the escape is
+// charged to this function, two call levels from the raw slice op.
+func (o *owner) ReturnViaExtern(n int) []int {
+	return extern(&o.sc, n) // want "returns memory backed by pooled scratch"
+}
+
+// ReturnScalar copies a single element out of the borrowed view; a
+// scalar copy ends the borrow and is clean.
+func (o *owner) ReturnScalar() int {
+	v := o.sc.buf[:2]
+	return v[0]
+}
+
+// StoreGlobal parks pooled memory in a package variable that outlives
+// the borrow window.
+func (o *owner) StoreGlobal() {
+	global = o.sc.buf[:1] // want "package variable"
+}
+
+// StoreField stores the borrowed view into the (pointer) receiver — the
+// caller keeps the struct after the pool recycles the buffer.
+func (o *owner) StoreField() {
+	o.keep = o.sc.buf[:1] // want "caller-visible"
+}
+
+// rec is a plain struct used to show the by-value-parameter exemption.
+type rec struct{ view []int }
+
+// StoreValueParam mutates a by-value parameter: the caller sees a copy,
+// so nothing escapes.
+func (o *owner) StoreValueParam(t rec) {
+	t.view = o.sc.buf[:1]
+}
+
+// StoreLocal pins the view in a local — tracked by the taint flow, not
+// an escape by itself.
+func (o *owner) StoreLocal() int {
+	var l rec
+	l.view = o.sc.buf[:1]
+	return l.view[0]
+}
+
+// PoolSelfStore writes a grown buffer back into the pool's own field —
+// the recycle idiom (index.go's sc.sorted = sorted).
+func (o *owner) PoolSelfStore(n int) {
+	b := grow(&o.sc.buf, n)
+	o.sc.out = b
+}
+
+// SendLeak hands the borrowed view to a receiver that outlives it.
+func (o *owner) SendLeak(ch chan []int) {
+	ch <- o.sc.buf[:1] // want "sends memory backed by pooled scratch"
+}
+
+// SendCopy sends a fresh copy — clean.
+func (o *owner) SendCopy(ch chan []int) {
+	ch <- append([]int(nil), o.sc.buf[:1]...)
+}
+
+// UseAfterReset touches the borrowed view after the pool reclaimed it.
+func (o *owner) UseAfterReset() int {
+	v := o.sc.buf[:1]
+	o.sc.Reset()
+	return v[0] // want "after"
+}
+
+// UseBeforeReset copies the scalar out before the Reset — clean.
+func (o *owner) UseBeforeReset() int {
+	v := o.sc.buf[:1]
+	x := v[0]
+	o.sc.Reset()
+	return x
+}
+
+// bufPool shows the sync.Pool flavor of the same contract.
+var bufPool sync.Pool
+
+// PoolGetLeak returns memory handed out by sync.Pool.Get without
+// putting it back or copying.
+func PoolGetLeak() []byte {
+	b := bufPool.Get().([]byte)
+	return b // want "returns memory backed by pooled scratch"
+}
+
+// PoolGetPut reads a scalar and returns the buffer to the pool — clean.
+func PoolGetPut() int {
+	b := bufPool.Get().([]byte)
+	n := len(b)
+	bufPool.Put(b)
+	return n
+}
+
+// PoolUseAfterPut touches the buffer after Put returned it to the pool.
+func PoolUseAfterPut() byte {
+	b := bufPool.Get().([]byte)
+	bufPool.Put(b)
+	return b[0] // want "after"
+}
+
+// SuppressedReturn documents an arena-style pool that never resets, so
+// handing out views is its contract; the justified directive holds.
+func (o *owner) SuppressedReturn() []int {
+	return o.sc.buf[:1] //vet:allow scratchalias append-only arena, never reset // want-suppressed "returns memory backed by pooled scratch"
+}
+
+// BareDirective shows that an unjustified directive does not suppress.
+func (o *owner) BareDirective() []int {
+	//vet:allow scratchalias
+	return o.sc.buf[:1] // want "returns memory backed by pooled scratch"
+}

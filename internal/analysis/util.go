@@ -8,7 +8,14 @@ import (
 
 // typeOf returns the type of e in the pass's package, or nil.
 func typeOf(p *Pass, e ast.Expr) types.Type {
-	if tv, ok := p.Pkg.Info.Types[e]; ok {
+	return pkgTypeOf(p.Pkg, e)
+}
+
+// pkgTypeOf is typeOf for code that holds a Package, not a Pass (the
+// fact layer resolves expressions in packages other than the one under
+// analysis).
+func pkgTypeOf(pkg *Package, e ast.Expr) types.Type {
+	if tv, ok := pkg.Info.Types[e]; ok {
 		return tv.Type
 	}
 	return nil
@@ -16,10 +23,15 @@ func typeOf(p *Pass, e ast.Expr) types.Type {
 
 // objectOf resolves an identifier to its object (use or definition).
 func objectOf(p *Pass, id *ast.Ident) types.Object {
-	if obj := p.Pkg.Info.Uses[id]; obj != nil {
+	return pkgObjectOf(p.Pkg, id)
+}
+
+// pkgObjectOf is objectOf against an explicit package.
+func pkgObjectOf(pkg *Package, id *ast.Ident) types.Object {
+	if obj := pkg.Info.Uses[id]; obj != nil {
 		return obj
 	}
-	return p.Pkg.Info.Defs[id]
+	return pkg.Info.Defs[id]
 }
 
 // isMapType reports whether t's underlying type is a map.
@@ -89,7 +101,12 @@ func declaredWithin(obj types.Object, spans []span) bool {
 // pkgNamePath returns the imported package path when id names an imported
 // package (e.g. the `fmt` in fmt.Printf), or "".
 func pkgNamePath(p *Pass, id *ast.Ident) string {
-	if pn, ok := objectOf(p, id).(*types.PkgName); ok {
+	return pkgNamePathOf(p.Pkg, id)
+}
+
+// pkgNamePathOf is pkgNamePath against an explicit package.
+func pkgNamePathOf(pkg *Package, id *ast.Ident) string {
+	if pn, ok := pkgObjectOf(pkg, id).(*types.PkgName); ok {
 		return pn.Imported().Path()
 	}
 	return ""
@@ -110,19 +127,24 @@ func unparen(e ast.Expr) ast.Expr {
 // calleeObject resolves a call's target: the function or method object,
 // or nil for builtins, conversions, and dynamic calls through values.
 func calleeObject(p *Pass, call *ast.CallExpr) types.Object {
+	return pkgCalleeObject(p.Pkg, call)
+}
+
+// pkgCalleeObject is calleeObject against an explicit package.
+func pkgCalleeObject(pkg *Package, call *ast.CallExpr) types.Object {
 	switch fun := unparen(call.Fun).(type) {
 	case *ast.Ident:
-		if obj := objectOf(p, fun); obj != nil {
+		if obj := pkgObjectOf(pkg, fun); obj != nil {
 			if _, ok := obj.(*types.Func); ok {
 				return obj
 			}
 		}
 	case *ast.SelectorExpr:
-		if sel, ok := p.Pkg.Info.Selections[fun]; ok {
+		if sel, ok := pkg.Info.Selections[fun]; ok {
 			return sel.Obj()
 		}
 		// Package-qualified call: fmt.Printf, mdl.DocCost.
-		if obj := objectOf(p, fun.Sel); obj != nil {
+		if obj := pkgObjectOf(pkg, fun.Sel); obj != nil {
 			return obj
 		}
 	}
@@ -131,11 +153,16 @@ func calleeObject(p *Pass, call *ast.CallExpr) types.Object {
 
 // isBuiltin reports whether a call invokes the named builtin.
 func isBuiltin(p *Pass, call *ast.CallExpr, name string) bool {
+	return pkgIsBuiltin(p.Pkg, call, name)
+}
+
+// pkgIsBuiltin is isBuiltin against an explicit package.
+func pkgIsBuiltin(pkg *Package, call *ast.CallExpr, name string) bool {
 	id, ok := unparen(call.Fun).(*ast.Ident)
 	if !ok || id.Name != name {
 		return false
 	}
-	_, ok = objectOf(p, id).(*types.Builtin)
+	_, ok = pkgObjectOf(pkg, id).(*types.Builtin)
 	return ok
 }
 
@@ -165,10 +192,10 @@ func localClosures(p *Pass, file *ast.File) map[types.Object]*ast.FuncLit {
 	return out
 }
 
-// stmtLists visits every statement list of the file (block bodies, case
+// stmtLists visits every statement list under root (block bodies, case
 // and select clauses) exactly once.
-func stmtLists(file *ast.File, visit func(list []ast.Stmt)) {
-	ast.Inspect(file, func(n ast.Node) bool {
+func stmtLists(root ast.Node, visit func(list []ast.Stmt)) {
+	ast.Inspect(root, func(n ast.Node) bool {
 		switch b := n.(type) {
 		case *ast.BlockStmt:
 			visit(b.List)

@@ -74,3 +74,43 @@ func TestStreamScaleSmoke(t *testing.T) {
 		t.Fatal("bit-parallel refinement never ran")
 	}
 }
+
+// TestScaleRaceShort is the trimmed scale exercise `make race-short`
+// leans on: a 1k-template bulk load followed by batched parallel
+// matching (Workers: 4) over mid-batch flush boundaries, so the race
+// detector sweeps the arena and tiered-index paths — the pooled
+// matchScratch, the arena-backed eq-token views, and the shared bucket
+// postings — under real goroutine concurrency. It is sized to run under
+// -short; the full-scale sweeps stay behind `make bench-scale`.
+func TestScaleRaceShort(t *testing.T) {
+	set := datagen.ScaleTemplates(datagen.ScaleConfig{Seed: 13, Templates: 1000})
+	d := New(core.Options{Workers: 4})
+	d.BatchSize = 48
+	for _, tmpl := range set.Templates {
+		if _, err := d.Register(tmpl.Words, tmpl.Wild); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(17))
+	docs := make([]string, 0, 192)
+	for k := 0; k < cap(docs); k++ {
+		if k%4 == 3 {
+			docs = append(docs, set.Noise(rng))
+		} else {
+			docs = append(docs, set.Probe(rng, rng.Intn(len(set.Templates))))
+		}
+	}
+	matched := 0
+	for lo := 0; lo < len(docs); lo += 64 {
+		for _, v := range d.AddBatch(docs[lo : lo+64]) {
+			if v >= 0 {
+				matched++
+			}
+		}
+	}
+	d.Flush()
+	if matched == 0 {
+		t.Fatal("no probe matched — the parallel matcher was never exercised")
+	}
+	checkIndex(t, "after race sweep", d)
+}
