@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test build vet vet-fast race race-short fuzz fuzz-stream fuzz-serve bench bench-coarse bench-json bench-scale bench-all experiments
+.PHONY: check test build vet vet-fast race race-short fuzz fuzz-stream fuzz-serve bench bench-coarse bench-json bench-scale bench-shard bench-all experiments
 
 ## check: the full gate — vet (go vet + infoshield-vet), build, and
 ## race-enabled tests.
@@ -54,11 +54,15 @@ fuzz:
 fuzz-stream:
 	$(GO) test -fuzz FuzzStreamOps -fuzztime 30s ./internal/stream
 
-## fuzz-serve: a bounded burst of the daemon fuzzer (interleaved HTTP
-## single/batch/flush/snapshot requests against the coalescer, verdicts
-## checked op-by-op against a serial reference detector).
+## fuzz-serve: bounded bursts of both daemon fuzzers — the single-shard
+## HTTP fuzzer (interleaved single/batch/flush/snapshot requests,
+## verdicts checked op-by-op against a serial reference detector) and
+## the sharded fuzzer (random shard count, WAL-backed, kill + replay
+## crash recovery against per-shard serial references). The patterns
+## are anchored: Go refuses a -fuzz that matches more than one target.
 fuzz-serve:
-	$(GO) test -fuzz FuzzServe -fuzztime 30s ./internal/serve
+	$(GO) test -fuzz 'FuzzServe$$' -fuzztime 30s ./internal/serve
+	$(GO) test -fuzz 'FuzzServeSharded$$' -fuzztime 30s ./internal/serve
 
 ## bench: the end-to-end pipeline benchmark at both corpus sizes,
 ## repeated for stable numbers.
@@ -81,7 +85,7 @@ bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_fine.json < BENCH_fine.txt
 	$(GO) test -bench='StreamAdd$$|StreamAddBatch' -benchmem -count=$(BENCH_COUNT) -run '^$$' > BENCH_stream.txt
 	$(GO) run ./cmd/benchjson -o BENCH_stream.json < BENCH_stream.txt
-	$(GO) test -bench='Serve' -benchmem -count=$(BENCH_COUNT) -run '^$$' ./internal/serve > BENCH_serve.txt
+	$(GO) test -bench='ServeCoalesce|ServeHTTP' -benchmem -count=$(BENCH_COUNT) -run '^$$' ./internal/serve > BENCH_serve.txt
 	$(GO) run ./cmd/benchjson -o BENCH_serve.json < BENCH_serve.txt
 
 ## bench-scale: the template-count scaling curve — steady-state Add at
@@ -92,6 +96,16 @@ bench-json:
 bench-scale:
 	$(GO) test -bench='StreamAddScale' -benchmem -count=$(BENCH_COUNT) -run '^$$' -timeout 30m > BENCH_scale.txt
 	$(GO) run ./cmd/benchjson -o BENCH_scale.json < BENCH_scale.txt
+
+## bench-shard: the sharded-serving sweep — shards 1/2/4/8 under 16 and
+## 64 concurrent clients, plus WAL-enabled points at 1 and 4 shards —
+## archived as BENCH_shard.{txt,json}. Docs-per-group-commit is reported
+## per run; on a single-vCPU runner the shard sweep measures routing and
+## fan-out overhead rather than parallel speedup (the benchmark logs a
+## note when GOMAXPROCS=1).
+bench-shard:
+	$(GO) test -bench='ServeSharded' -benchmem -count=$(BENCH_COUNT) -run '^$$' -timeout 30m ./internal/serve > BENCH_shard.txt
+	$(GO) run ./cmd/benchjson -o BENCH_shard.json < BENCH_shard.txt
 
 bench-all:
 	$(GO) test -bench=. -benchmem -run '^$$'

@@ -1,34 +1,35 @@
 // Command infoshieldd serves the streaming InfoShield detector over
 // HTTP/JSON. Concurrent single-document requests are transparently
-// coalesced into detector batches (group-commit micro-batching), so the
-// parallel AddBatch fan-out is exercised even when every client sends
-// one document at a time.
+// coalesced into detector batches (group-commit micro-batching), and
+// -shards splits the detector into S independent shards — each with its
+// own sequencer, coalescer, and write-ahead log — routed by a hash or
+// language key computed from the token stream.
 //
 // Endpoints:
 //
 //	POST /v1/docs             {"text": "..."} or {"texts": ["...", ...]}
 //	GET  /v1/assignments/{id}
 //	GET  /v1/templates
-//	GET  /v1/stats
+//	GET  /v1/stats            per-shard blocks plus the rolled-up total
 //	POST /v1/flush
 //	POST /v1/snapshot         {"path": "..."} optional
 //	GET  /healthz
 //	GET  /debug/pprof/...
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, waits for
-// in-flight requests, drains the coalescer queue, and — when -state is
-// set — mines the remaining buffer and snapshots the templates before
-// exiting.
+// in-flight requests, drains every shard's coalescer queue, and — when
+// -state is set — mines the remaining buffers, snapshots the manifest,
+// and truncates the write-ahead logs before exiting.
 //
 // Example:
 //
-//	infoshieldd -addr :8743 -state /var/lib/infoshield/state.json &
+//	infoshieldd -addr :8743 -shards 4 -wal-dir /var/lib/infoshield/wal \
+//	    -state /var/lib/infoshield/state.json &
 //	curl -s localhost:8743/v1/docs -d '{"text":"big sale call now"}'
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -52,11 +53,14 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", ":8743", "listen address")
 	state := fs.String("state", "", "state file: loaded at startup if present, snapshotted on shutdown and by POST /v1/snapshot")
-	workers := fs.Int("workers", 0, "worker pool for batched matching and mining (0 = GOMAXPROCS); never changes verdicts")
+	shards := fs.Int("shards", 1, "detector shard count; each shard has its own sequencer, coalescer, and WAL")
+	route := fs.String("route", serve.RouteHash, `shard routing: "hash" (balanced) or "lang" (keeps each language's templates on one shard)`)
+	walDir := fs.String("wal-dir", "", "write-ahead-log directory: every acked document is logged (and fsynced) before its verdict returns, and replayed on boot")
+	workers := fs.Int("workers", 0, "per-shard worker pool for batched matching and mining (0 = GOMAXPROCS); never changes verdicts")
 	mineBatch := fs.Int("mine-batch", 0, "buffered documents that trigger a mining pass (0 = detector default 512)")
 	maxBatch := fs.Int("max-batch", 0, "documents that flush a coalesced ingest batch (0 = default 256)")
 	maxWait := fs.Duration("max-wait", 0, "latency budget for growing an ingest batch (0 = commit as soon as the queue drains)")
-	queueDepth := fs.Int("queue-depth", 0, "ingest queue depth in requests (0 = default 1024)")
+	queueDepth := fs.Int("queue-depth", 0, "per-shard ingest queue depth in requests (0 = default 1024)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -66,25 +70,32 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	det := stream.New(core.Options{Workers: *workers})
-	if *mineBatch > 0 {
-		det.BatchSize = *mineBatch
-	}
-	if *state != "" {
-		if err := loadState(det, *state); err != nil {
-			fmt.Fprintln(stderr, "infoshieldd:", err)
-			return 1
-		}
+	sh, err := serve.NewSharded(serve.ShardedConfig{
+		Shards:    *shards,
+		Route:     *route,
+		WALDir:    *walDir,
+		StatePath: *state,
+		Coalescer: serve.Options{
+			MaxBatch:   *maxBatch,
+			MaxWait:    *maxWait,
+			QueueDepth: *queueDepth,
+		},
+		NewDetector: func() *stream.Detector {
+			det := stream.New(core.Options{Workers: *workers})
+			if *mineBatch > 0 {
+				det.BatchSize = *mineBatch
+			}
+			return det
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "infoshieldd:", err)
+		return 1
 	}
 
-	c := serve.NewCoalescer(det, serve.Options{
-		MaxBatch:   *maxBatch,
-		MaxWait:    *maxWait,
-		QueueDepth: *queueDepth,
-	})
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: serve.NewServer(c, *state).Handler(),
+		Handler: serve.NewServer(sh, *state).Handler(),
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -92,8 +103,8 @@ func run(args []string, stdout, stderr *os.File) int {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(stdout, "infoshieldd: listening on %s (%d templates loaded)\n",
-			*addr, det.NumTemplates())
+		fmt.Fprintf(stdout, "infoshieldd: listening on %s (%d shards, route=%s)\n",
+			*addr, sh.Shards(), sh.Route())
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -101,14 +112,16 @@ func run(args []string, stdout, stderr *os.File) int {
 	case err := <-errc:
 		// Listen failed before any signal: nothing to drain.
 		fmt.Fprintln(stderr, "infoshieldd:", err)
+		_ = sh.Close()
 		return 1
 	case <-ctx.Done():
 	}
 
 	// Shutdown protocol: stop accepting connections and wait for in-flight
-	// HTTP requests (whose Submits must reach the queue before we close
-	// it), then mine + snapshot while the coalescer still accepts control
-	// requests, and finally drain and stop the sequencer.
+	// HTTP requests (whose Submits must reach the shard queues before the
+	// accept gate closes), then hand off to Drain — which drains every
+	// shard, final-flushes, snapshots the manifest when -state is set, and
+	// truncates the WALs only after the manifest commits.
 	fmt.Fprintln(stdout, "infoshieldd: shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
@@ -116,35 +129,11 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stderr, "infoshieldd: shutdown:", err)
 	}
 	code := 0
-	if *state != "" {
-		if err := c.Flush(); err != nil {
-			fmt.Fprintln(stderr, "infoshieldd: final flush:", err)
-			code = 1
-		}
-		if _, err := serve.SnapshotToFile(c, *state); err != nil {
-			fmt.Fprintln(stderr, "infoshieldd: final snapshot:", err)
-			code = 1
-		} else {
-			fmt.Fprintf(stdout, "infoshieldd: snapshotted state to %s\n", *state)
-		}
-	}
-	if err := c.Close(); err != nil {
-		fmt.Fprintln(stderr, "infoshieldd: close:", err)
+	if err := sh.Drain(*state); err != nil {
+		fmt.Fprintln(stderr, "infoshieldd: drain:", err)
 		code = 1
+	} else if *state != "" {
+		fmt.Fprintf(stdout, "infoshieldd: snapshotted state to %s\n", *state)
 	}
 	return code
-}
-
-// loadState restores a previous snapshot; a missing file is a fresh
-// start, not an error.
-func loadState(det *stream.Detector, path string) error {
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
-	}
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return det.Load(f)
 }

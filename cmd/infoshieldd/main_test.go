@@ -11,8 +11,7 @@ import (
 	"testing"
 	"time"
 
-	"infoshield/internal/core"
-	"infoshield/internal/stream"
+	"infoshield/internal/serve"
 )
 
 // freePort reserves an ephemeral port and releases it for the daemon.
@@ -79,17 +78,82 @@ func TestDaemonLifecycle(t *testing.T) {
 		t.Fatal("daemon did not exit after SIGTERM")
 	}
 
-	f, err := os.Open(statePath)
-	if err != nil {
+	checkSnapshot(t, statePath, 1)
+}
+
+// checkSnapshot boots a fresh sharded detector set from the manifest the
+// drain left behind and verifies the shutdown flush mined templates.
+func checkSnapshot(t *testing.T, statePath string, shards int) {
+	t.Helper()
+	if _, err := os.Stat(statePath); err != nil {
 		t.Fatalf("no state snapshot after shutdown: %v", err)
 	}
-	defer f.Close()
-	det := stream.New(core.Options{})
-	if err := det.Load(f); err != nil {
+	sh, err := serve.NewSharded(serve.ShardedConfig{Shards: shards, StatePath: statePath})
+	if err != nil {
 		t.Fatalf("snapshot does not load: %v", err)
 	}
-	if det.NumTemplates() == 0 {
+	defer sh.Close()
+	tmpls, err := sh.Templates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmpls) == 0 {
 		t.Error("shutdown flush mined no template")
+	}
+}
+
+// TestDaemonShardedLifecycle runs the daemon with multiple shards and a
+// write-ahead log: ingest, SIGTERM drain, then verify the manifest loads
+// with the right shard count and the WALs were truncated.
+func TestDaemonShardedLifecycle(t *testing.T) {
+	addr := freePort(t)
+	dir := t.TempDir()
+	statePath := filepath.Join(dir, "state.json")
+	walDir := filepath.Join(dir, "wal")
+	if err := os.MkdirAll(walDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	sink := devNull(t)
+
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", addr, "-state", statePath,
+			"-shards", "2", "-wal-dir", walDir}, sink, sink)
+	}()
+
+	base := "http://" + addr
+	waitHealthy(t, base, done)
+
+	for i := 0; i < 6; i++ {
+		body := fmt.Sprintf(`{"text":"limited offer buy the premium golden package today visit site%04d.example now"}`, i)
+		postOK(t, base+"/v1/docs", body)
+	}
+	for i := 0; i < 4; i++ {
+		body := fmt.Sprintf(`{"text":"nq%da nq%db nq%dc nq%dd nq%de nq%df"}`, i, i, i, i, i, i)
+		postOK(t, base+"/v1/docs", body)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("daemon exited %d", code)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+
+	checkSnapshot(t, statePath, 2)
+	for k := 0; k < 2; k++ {
+		info, err := os.Stat(filepath.Join(walDir, fmt.Sprintf("wal-%d.log", k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() != 0 {
+			t.Errorf("wal-%d not truncated by drain: %d bytes", k, info.Size())
+		}
 	}
 }
 

@@ -6,10 +6,12 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"infoshield/internal/core"
 	"infoshield/internal/stream"
@@ -18,6 +20,11 @@ import (
 // benchCampaigns mirrors the steady-state regime of BenchmarkStreamAdd:
 // hundreds of mined templates, every probe matching one of them.
 const benchCampaigns = 220
+
+// benchSlowCommit is the injected per-batch commit delay for the *-slow
+// modes: large against per-document match cost, small against a
+// benchmark iteration budget.
+const benchSlowCommit = 200 * time.Microsecond
 
 var (
 	benchSeedOnce  sync.Once
@@ -70,14 +77,53 @@ func benchDetector(b *testing.B) *stream.Detector {
 	return det
 }
 
+// benchSharded builds an S-shard serving front end, every shard
+// pre-loaded with the seeded template state.
+func benchSharded(b *testing.B, shards int, walDir string, opt Options) *Sharded {
+	b.Helper()
+	benchDetector(b) // force the one-time seed (and fail early if it breaks)
+	sh, err := NewSharded(ShardedConfig{
+		Shards: shards, WALDir: walDir, WALNoSync: true, Coalescer: opt,
+		NewDetector: func() *stream.Detector {
+			det := stream.New(core.Options{})
+			det.BatchSize = 1 << 30
+			if err := det.Load(bytes.NewReader(benchSeedState)); err != nil {
+				b.Fatal(err)
+			}
+			return det
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sh
+}
+
+// noteSingleCPU flags the blind spot of closed-loop coalescing
+// benchmarks on single-core machines: clients cannot overlap the
+// sequencer, so natural batches rarely form and mode=coalesce looks like
+// mode=mutex. The *-slow modes inject a per-batch commit delay
+// (Options.SlowCommit) so the amortization is measurable anyway —
+// clients queue while the sequencer "commits", and docs/batch grows.
+func noteSingleCPU(b *testing.B) {
+	b.Helper()
+	if runtime.GOMAXPROCS(0) == 1 {
+		b.Logf("GOMAXPROCS=1: natural batching needs client/sequencer overlap; trust the mode=*-slow variants (injected %v commit delay) on this machine", benchSlowCommit)
+	}
+}
+
 // BenchmarkServeCoalesce is the headline contention benchmark: N
 // closed-loop clients each submit one matching document at a time.
 // mode=mutex serializes clients with a lock around Detector.Add (the
 // obvious thread-safe wrapper); mode=coalesce funnels them through the
 // group-commit sequencer, which batches whatever queued while the
 // previous batch was in flight and pays the parallel AddBatch fan-out
-// once per batch instead of once per document.
+// once per batch instead of once per document. The *-slow pair replays
+// the comparison with a synthetic slow commit (giant template sets, WAL
+// fsync on spinning disks): the mutex pays the delay per document, the
+// coalescer per batch.
 func BenchmarkServeCoalesce(b *testing.B) {
+	noteSingleCPU(b)
 	for _, clients := range []int{1, 4, 16, 64} {
 		b.Run(fmt.Sprintf("mode=mutex/clients=%d", clients), func(b *testing.B) {
 			det := benchDetector(b)
@@ -97,12 +143,76 @@ func BenchmarkServeCoalesce(b *testing.B) {
 				}
 			})
 			b.StopTimer()
-			if st, err := c.Stats(); err == nil && st.Serve.Batches > 0 {
-				b.ReportMetric(float64(st.Serve.Docs)/float64(st.Serve.Batches), "docs/batch")
-			}
+			reportDocsPerBatch(b, c)
 			if err := c.Close(); err != nil {
 				b.Fatal(err)
 			}
+		})
+		b.Run(fmt.Sprintf("mode=mutex-slow/clients=%d", clients), func(b *testing.B) {
+			det := benchDetector(b)
+			var mu sync.Mutex
+			runClients(b, clients, func(text string) {
+				mu.Lock()
+				det.Add(text)
+				time.Sleep(benchSlowCommit) // per-document commit cost
+				mu.Unlock()
+			})
+		})
+		b.Run(fmt.Sprintf("mode=coalesce-slow/clients=%d", clients), func(b *testing.B) {
+			det := benchDetector(b)
+			c := NewCoalescer(det, Options{SlowCommit: benchSlowCommit})
+			runClients(b, clients, func(text string) {
+				if _, err := c.Submit([]string{text}); err != nil {
+					b.Error(err)
+				}
+			})
+			b.StopTimer()
+			reportDocsPerBatch(b, c)
+			if err := c.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func reportDocsPerBatch(b *testing.B, c *Coalescer) {
+	b.Helper()
+	if st, err := c.Stats(); err == nil && st.Serve.Batches > 0 {
+		b.ReportMetric(float64(st.Serve.Docs)/float64(st.Serve.Batches), "docs/batch")
+	}
+}
+
+// BenchmarkServeSharded sweeps the shard count under closed-loop load:
+// S independent sequencers (hash routing) against 16 and 64 clients,
+// plus a WAL-enabled pair (fsync off, so the measured cost is the
+// serialization and write path, not the device). docs/batch aggregates
+// across shards.
+func BenchmarkServeSharded(b *testing.B) {
+	noteSingleCPU(b)
+	run := func(b *testing.B, sh *Sharded, clients int) {
+		runClients(b, clients, func(text string) {
+			if _, err := sh.Submit([]string{text}); err != nil {
+				b.Error(err)
+			}
+		})
+		b.StopTimer()
+		if st, err := sh.Stats(); err == nil && st.Total.Serve.Batches > 0 {
+			b.ReportMetric(st.DocsPerBatch, "docs/batch")
+		}
+		if err := sh.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, clients := range []int{16, 64} {
+			b.Run(fmt.Sprintf("shards=%d/clients=%d", shards, clients), func(b *testing.B) {
+				run(b, benchSharded(b, shards, "", Options{}), clients)
+			})
+		}
+	}
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d/clients=64/wal=1", shards), func(b *testing.B) {
+			run(b, benchSharded(b, shards, b.TempDir(), Options{}), 64)
 		})
 	}
 }
@@ -135,12 +245,11 @@ func runClients(b *testing.B, clients int, submit func(text string)) {
 // HTTP/JSON stack (routing, body decode, coalesce, encode) with 16
 // concurrent keep-alive clients.
 func BenchmarkServeHTTP(b *testing.B) {
-	det := benchDetector(b)
-	c := NewCoalescer(det, Options{})
-	ts := httptest.NewServer(NewServer(c, "").Handler())
+	sh := benchSharded(b, 1, "", Options{})
+	ts := httptest.NewServer(NewServer(sh, "").Handler())
 	defer func() {
 		ts.Close()
-		if err := c.Close(); err != nil {
+		if err := sh.Close(); err != nil {
 			b.Error(err)
 		}
 	}()

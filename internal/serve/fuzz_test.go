@@ -6,12 +6,14 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
-	"reflect"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"infoshield/internal/core"
 	"infoshield/internal/stream"
+	"infoshield/internal/tokenize"
 )
 
 // FuzzServe drives an interleaved program of HTTP single-doc, batch,
@@ -35,13 +37,11 @@ func FuzzServe(f *testing.F) {
 		docs := fuzzDocs(payload)
 
 		const mineBatch = 8
-		det := stream.New(core.Options{})
-		det.BatchSize = mineBatch
-		c := NewCoalescer(det, Options{MaxBatch: 4})
-		ts := httptest.NewServer(NewServer(c, "").Handler())
+		sh := newTestSharded(t, ShardedConfig{Coalescer: Options{MaxBatch: 4}}, mineBatch)
+		ts := httptest.NewServer(NewServer(sh, "").Handler())
 		defer func() {
 			ts.Close()
-			if err := c.Close(); err != nil {
+			if err := sh.Close(); err != nil {
 				t.Error(err)
 			}
 		}()
@@ -95,26 +95,224 @@ func FuzzServe(f *testing.F) {
 				if rerr != nil || resp.StatusCode != http.StatusOK {
 					t.Fatalf("op %d: snapshot status %d err %v", pc, resp.StatusCode, rerr)
 				}
-				restored := stream.New(core.Options{Workers: 1})
-				if err := restored.Load(bytes.NewReader(state)); err != nil {
-					t.Fatalf("op %d: snapshot does not load: %v", pc, err)
+				// A snapshot mines the pending buffer first (so the state is
+				// self-contained at its high-water mark); mirror that.
+				ref.Flush()
+				var man manifestV2
+				if err := json.Unmarshal(state, &man); err != nil {
+					t.Fatalf("op %d: snapshot body is not a manifest: %v", pc, err)
 				}
-				if got, want := restored.Templates(), ref.Templates(); !reflect.DeepEqual(got, want) {
-					t.Fatalf("op %d: snapshot templates diverge from reference", pc)
+				if man.Version != 2 || man.Shards != 1 || len(man.States) != 1 {
+					t.Fatalf("op %d: manifest %+v", pc, man)
+				}
+				if man.HWM[0] != next {
+					t.Fatalf("op %d: snapshot hwm %d, ingested %d", pc, man.HWM[0], next)
+				}
+				// The shard state must be byte-identical to the reference's own
+				// Save — the persisted form stores words, not vocabulary ids,
+				// so it is the vocabulary-independent witness of the template
+				// state (a Load into a fresh detector re-encodes ids and would
+				// compare vocabulary-local numbering instead).
+				var want bytes.Buffer
+				if err := ref.Save(&want); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(bytes.TrimSpace(man.States[0]), bytes.TrimSpace(want.Bytes())) {
+					t.Fatalf("op %d: snapshot state diverges from reference:\n%s\nvs\n%s",
+						pc, man.States[0], want.Bytes())
+				}
+				restored := stream.New(core.Options{Workers: 1})
+				if err := restored.Load(bytes.NewReader(man.States[0])); err != nil {
+					t.Fatalf("op %d: snapshot does not load: %v", pc, err)
 				}
 			}
 		}
 
 		// Final state must agree with the reference on every axis the API
 		// exposes.
-		var st Stats
+		var st ShardedStats
 		fuzzGet(t, ts.URL+"/v1/stats", &st)
-		if st.Templates != ref.NumTemplates() || st.PendingDocs != ref.Pending() {
+		if st.Total.Templates != ref.NumTemplates() || st.Total.PendingDocs != ref.Pending() {
 			t.Fatalf("final stats %+v, reference %d templates %d pending",
-				st, ref.NumTemplates(), ref.Pending())
+				st.Total, ref.NumTemplates(), ref.Pending())
 		}
-		if int64(next) != st.Serve.Docs {
-			t.Fatalf("served %d docs, counter says %d", next, st.Serve.Docs)
+		if int64(next) != st.Total.Serve.Docs {
+			t.Fatalf("served %d docs, counter says %d", next, st.Total.Serve.Docs)
+		}
+	})
+}
+
+// FuzzServeSharded is the sharded-daemon equivalence fuzzer: a random
+// shard count, an op program interleaving ingest, flush, snapshot, and
+// crash+reboot (close without drain, then replay from the write-ahead
+// log), mirrored on S serial reference detectors fed each shard's
+// subsequence via the same routing function. Every verdict, every
+// post-reboot assignment, and the final template/pending state must
+// match the references exactly.
+func FuzzServeSharded(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 2, 0, 3}, "hello world this is text", uint8(2))
+	f.Add([]byte{0, 4, 8, 4, 12, 3, 0, 1}, "limited offer buy now\nlimited offer buy now", uint8(3))
+	f.Add([]byte{1, 1, 4, 2, 3, 4}, "a\nbb cc\n\nddd ee ff gg", uint8(4))
+	f.Add([]byte{4, 0, 4, 0, 4}, "", uint8(1))
+
+	f.Fuzz(func(t *testing.T, program []byte, payload string, sseed uint8) {
+		if len(program) > 20 {
+			program = program[:20]
+		}
+		S := 1 + int(sseed)%4
+		docs := fuzzDocs(payload)
+
+		dir := t.TempDir()
+		statePath := filepath.Join(dir, "state.json")
+		walDir := filepath.Join(dir, "wal")
+		if err := os.MkdirAll(walDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		const mineBatch = 8
+		cfg := ShardedConfig{
+			Shards: S, WALDir: walDir, WALNoSync: true, StatePath: statePath,
+			Coalescer: Options{MaxBatch: 4},
+			NewDetector: func() *stream.Detector {
+				det := stream.New(core.Options{})
+				det.BatchSize = mineBatch
+				return det
+			},
+		}
+		sh, err := NewSharded(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			if err := sh.Close(); err != nil {
+				t.Error(err)
+			}
+		}()
+
+		// One serial reference detector per shard, fed exactly the
+		// subsequence the router sends that shard.
+		refs := make([]*stream.Detector, S)
+		for k := range refs {
+			refs[k] = stream.New(core.Options{Workers: 1})
+			refs[k].BatchSize = mineBatch
+		}
+		var tk tokenize.Tokenizer
+		type docRef struct{ shard, local int }
+		var ingested []docRef
+		// snapHWM tracks each shard's document count at the latest live
+		// snapshot; bootHWM is the mark the most recent reboot loaded from.
+		// Assignments below bootHWM are not reproducible after a crash (the
+		// id→template map is not persisted — only template state and the
+		// WAL tail are), so the final sweep skips them.
+		snapHWM := make([]int, S)
+		bootHWM := make([]int, S)
+		refAdd := func(text string) docRef {
+			k := int(routeKey(RouteHash, tk.Tokens(text)) % uint64(S))
+			d := docRef{shard: k, local: refs[k].Add(text)}
+			ingested = append(ingested, d)
+			return d
+		}
+		check := func(pc int, v Verdict, d docRef) {
+			t.Helper()
+			if v.ID != d.local*S+d.shard {
+				t.Fatalf("op %d: verdict id %d, want local %d on shard %d of %d", pc, v.ID, d.local, d.shard, S)
+			}
+			want := refs[d.shard].Assignment(d.local)
+			wantTmpl := want.Template
+			if wantTmpl >= 0 {
+				wantTmpl = wantTmpl*S + d.shard
+			}
+			if v.Template != wantTmpl || v.Pending != want.Pending {
+				t.Fatalf("op %d doc %d/%d: verdict %+v, reference %+v", pc, d.shard, d.local, v, want)
+			}
+		}
+
+		next := 0
+		takeDoc := func() string {
+			d := docs[next%len(docs)]
+			next++
+			return d
+		}
+
+		for pc, op := range program {
+			switch op % 5 {
+			case 0: // single-document ingest
+				text := takeDoc()
+				vs, err := sh.Submit([]string{text})
+				if err != nil {
+					t.Fatalf("op %d: %v", pc, err)
+				}
+				check(pc, vs[0], refAdd(text))
+			case 1: // batch ingest of 1–3 documents
+				k := 1 + int(op>>2)%3
+				texts := make([]string, k)
+				for i := range texts {
+					texts[i] = takeDoc()
+				}
+				vs, err := sh.Submit(texts)
+				if err != nil {
+					t.Fatalf("op %d: %v", pc, err)
+				}
+				drs := make([]docRef, k)
+				for i, text := range texts {
+					drs[i] = refAdd(text)
+				}
+				for i, v := range vs {
+					check(pc, v, drs[i])
+				}
+			case 2: // force a mining pass everywhere
+				if err := sh.Flush(); err != nil {
+					t.Fatalf("op %d: %v", pc, err)
+				}
+				for _, r := range refs {
+					r.Flush()
+				}
+			case 3: // live snapshot (flushes; WAL left intact)
+				if _, err := sh.Snapshot(statePath); err != nil {
+					t.Fatalf("op %d: snapshot: %v", pc, err)
+				}
+				for k, r := range refs {
+					r.Flush()
+					snapHWM[k] = r.NextID()
+				}
+			case 4: // crash: close without drain, reboot, replay from WAL
+				if err := sh.Close(); err != nil {
+					t.Fatalf("op %d: close: %v", pc, err)
+				}
+				sh, err = NewSharded(cfg)
+				if err != nil {
+					t.Fatalf("op %d: reboot: %v", pc, err)
+				}
+				copy(bootHWM, snapHWM)
+			}
+		}
+
+		// Every acked document at or above its shard's boot mark must be
+		// reproducible — including across any crash/reboot in the program:
+		// WAL replay reconstructs the exact pre-crash assignment map above
+		// the snapshot high-water mark (the full map when nothing was
+		// snapshotted before the crash).
+		for i, d := range ingested {
+			if d.local < bootHWM[d.shard] {
+				continue
+			}
+			v, err := sh.Assignment(d.local*S + d.shard)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(-1-i, v, d)
+		}
+		st, err := sh.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantTemplates, wantPending := 0, 0
+		for _, r := range refs {
+			wantTemplates += r.NumTemplates()
+			wantPending += r.Pending()
+		}
+		if st.Total.Templates != wantTemplates || st.Total.PendingDocs != wantPending {
+			t.Fatalf("final stats %+v, reference %d templates %d pending",
+				st.Total, wantTemplates, wantPending)
 		}
 	})
 }

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
-	"os"
 	"strconv"
 )
 
@@ -15,18 +14,20 @@ import (
 // hundred thousand short documents fits comfortably).
 const maxBodyBytes = 64 << 20
 
-// Server is the HTTP/JSON front end over one Coalescer.
+// Server is the HTTP/JSON front end over the sharded detector set (a
+// single-shard Sharded is the unsharded daemon — byte-identical ids and
+// verdicts).
 type Server struct {
-	c *Coalescer
+	sh *Sharded
 	// statePath is the default snapshot target for POST /v1/snapshot
 	// requests that name no path ("" means stream the state in the
 	// response body instead).
 	statePath string
 }
 
-// NewServer wraps c. statePath may be empty.
-func NewServer(c *Coalescer, statePath string) *Server {
-	return &Server{c: c, statePath: statePath}
+// NewServer wraps sh. statePath may be empty.
+func NewServer(sh *Sharded, statePath string) *Server {
+	return &Server{sh: sh, statePath: statePath}
 }
 
 // Handler returns the API routes:
@@ -34,7 +35,7 @@ func NewServer(c *Coalescer, statePath string) *Server {
 //	POST /v1/docs          ingest {"text": ...} or {"texts": [...]}
 //	GET  /v1/assignments/{id}
 //	GET  /v1/templates
-//	GET  /v1/stats
+//	GET  /v1/stats         per-shard blocks plus the rolled-up total
 //	POST /v1/flush         force a mining pass over buffered documents
 //	POST /v1/snapshot      persist templates ({"path": ...} optional)
 //	GET  /healthz
@@ -84,7 +85,7 @@ func (s *Server) handleDocs(w http.ResponseWriter, r *http.Request) {
 	if single {
 		texts = []string{*req.Text}
 	}
-	verdicts, err := s.c.Submit(texts)
+	verdicts, err := s.sh.Submit(texts)
 	if err != nil {
 		serveError(w, err)
 		return
@@ -96,9 +97,11 @@ func (s *Server) handleDocs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, docsResponse{Docs: verdicts})
 }
 
-// assignmentResponse is the GET /v1/assignments/{id} answer.
+// assignmentResponse is the GET /v1/assignments/{id} answer; the id is
+// global (it encodes its shard: id = local*S + shard).
 type assignmentResponse struct {
 	ID       int  `json:"id"`
+	Shard    int  `json:"shard"`
 	Template int  `json:"template"`
 	Pending  bool `json:"pending"`
 }
@@ -109,39 +112,29 @@ func (s *Server) handleAssignment(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "id must be a non-negative integer")
 		return
 	}
-	a, err := s.c.Assignment(id)
+	v, err := s.sh.Assignment(id)
 	if err != nil {
 		serveError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, assignmentResponse{ID: id, Template: a.Template, Pending: a.Pending})
-}
-
-// templateResponse is one GET /v1/templates entry.
-type templateResponse struct {
-	Index    int    `json:"index"`
-	Pattern  string `json:"pattern"`
-	Slots    int    `json:"slots"`
-	DocCount int    `json:"doc_count"`
+	writeJSON(w, http.StatusOK, assignmentResponse{
+		ID: v.ID, Shard: id % s.sh.Shards(), Template: v.Template, Pending: v.Pending,
+	})
 }
 
 func (s *Server) handleTemplates(w http.ResponseWriter, r *http.Request) {
-	infos, err := s.c.Templates()
+	infos, err := s.sh.Templates()
 	if err != nil {
 		serveError(w, err)
 		return
 	}
-	out := make([]templateResponse, len(infos))
-	for i, ti := range infos {
-		out[i] = templateResponse{Index: i, Pattern: ti.Pattern, Slots: ti.Slots, DocCount: ti.DocCount}
-	}
 	writeJSON(w, http.StatusOK, struct {
-		Templates []templateResponse `json:"templates"`
-	}{out})
+		Templates []ShardTemplate `json:"templates"`
+	}{infos})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st, err := s.c.Stats()
+	st, err := s.sh.Stats()
 	if err != nil {
 		serveError(w, err)
 		return
@@ -150,11 +143,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
-	if err := s.c.Flush(); err != nil {
+	if err := s.sh.Flush(); err != nil {
 		serveError(w, err)
 		return
 	}
-	st, err := s.c.Stats()
+	st, err := s.sh.Stats()
 	if err != nil {
 		serveError(w, err)
 		return
@@ -162,13 +155,14 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Templates   int `json:"templates"`
 		PendingDocs int `json:"pending_docs"`
-	}{st.Templates, st.PendingDocs})
+	}{st.Total.Templates, st.Total.PendingDocs})
 }
 
 // snapshotRequest is the optional POST /v1/snapshot body.
 type snapshotRequest struct {
 	// Path overrides the server's default snapshot file. When both are
-	// empty the state streams back in the response body.
+	// empty the state streams back in the response body (the combined
+	// manifest form, shard states inline).
 	Path string `json:"path,omitempty"`
 }
 
@@ -185,7 +179,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		// No file target: return the state as the response body. Buffered
 		// so a failed snapshot still gets a proper error status.
 		var buf bytes.Buffer
-		if err := s.c.Snapshot(&buf); err != nil {
+		if err := s.sh.SnapshotTo(&buf); err != nil {
 			serveError(w, err)
 			return
 		}
@@ -193,7 +187,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		_, _ = w.Write(buf.Bytes())
 		return
 	}
-	n, err := SnapshotToFile(s.c, path)
+	n, err := s.sh.Snapshot(path)
 	if err != nil {
 		serveError(w, err)
 		return
@@ -202,34 +196,6 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		Path  string `json:"path"`
 		Bytes int64  `json:"bytes"`
 	}{path, n})
-}
-
-// SnapshotToFile persists the detector state to path atomically (write
-// to a sibling temp file, then rename) and returns the byte count.
-func SnapshotToFile(c *Coalescer, path string) (int64, error) {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return 0, err
-	}
-	err = c.Snapshot(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		_ = os.Remove(tmp)
-		return 0, err
-	}
-	info, err := os.Stat(tmp)
-	if err != nil {
-		_ = os.Remove(tmp)
-		return 0, err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		_ = os.Remove(tmp)
-		return 0, err
-	}
-	return info.Size(), nil
 }
 
 // decodeJSON parses the request body into v, writing a 400 and returning

@@ -7,7 +7,6 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
-	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -16,22 +15,38 @@ import (
 	"infoshield/internal/stream"
 )
 
-// newTestServer wires a detector behind the HTTP front end.
-func newTestServer(t *testing.T, mineBatch int, statePath string) (*httptest.Server, *Coalescer) {
+// newTestSharded builds a sharded detector set for tests.
+func newTestSharded(t *testing.T, cfg ShardedConfig, mineBatch int) *Sharded {
 	t.Helper()
-	det := stream.New(core.Options{})
-	if mineBatch > 0 {
-		det.BatchSize = mineBatch
+	if cfg.NewDetector == nil {
+		cfg.NewDetector = func() *stream.Detector {
+			det := stream.New(core.Options{})
+			if mineBatch > 0 {
+				det.BatchSize = mineBatch
+			}
+			return det
+		}
 	}
-	c := NewCoalescer(det, Options{})
-	ts := httptest.NewServer(NewServer(c, statePath).Handler())
+	sh, err := NewSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh
+}
+
+// newTestServer wires a single-shard detector behind the HTTP front end
+// — the PR 5 daemon shape, which S=1 must reproduce byte-identically.
+func newTestServer(t *testing.T, mineBatch int, statePath string) (*httptest.Server, *Sharded) {
+	t.Helper()
+	sh := newTestSharded(t, ShardedConfig{StatePath: statePath}, mineBatch)
+	ts := httptest.NewServer(NewServer(sh, statePath).Handler())
 	t.Cleanup(func() {
 		ts.Close()
-		if err := c.Close(); err != nil {
+		if err := sh.Close(); err != nil {
 			t.Error(err)
 		}
 	})
-	return ts, c
+	return ts, sh
 }
 
 // postJSON posts body to url and decodes the JSON response into out.
@@ -89,7 +104,7 @@ func TestServerIngestForms(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/v1/assignments/1", &a); code != http.StatusOK {
 		t.Fatalf("assignment: status %d", code)
 	}
-	if a.ID != 1 || !a.Pending {
+	if a.ID != 1 || a.Shard != 0 || !a.Pending {
 		t.Fatalf("assignment %+v", a)
 	}
 }
@@ -146,7 +161,7 @@ func TestServerFlushTemplatesStats(t *testing.T) {
 	}
 
 	var tmpls struct {
-		Templates []templateResponse `json:"templates"`
+		Templates []ShardTemplate `json:"templates"`
 	}
 	if code := getJSON(t, ts.URL+"/v1/templates", &tmpls); code != http.StatusOK {
 		t.Fatalf("templates: status %d", code)
@@ -155,19 +170,22 @@ func TestServerFlushTemplatesStats(t *testing.T) {
 		t.Fatalf("%d templates reported vs %d flushed", len(tmpls.Templates), flushed.Templates)
 	}
 	tr := tmpls.Templates[0]
-	if tr.Pattern == "" || tr.DocCount < 2 {
+	if tr.Pattern == "" || tr.DocCount < 2 || tr.Shard != 0 || tr.ID != tr.Index {
 		t.Fatalf("template %+v", tr)
 	}
 
-	var st Stats
+	var st ShardedStats
 	if code := getJSON(t, ts.URL+"/v1/stats", &st); code != http.StatusOK {
 		t.Fatalf("stats: status %d", code)
 	}
-	if st.Templates != flushed.Templates || st.PendingDocs != 0 {
-		t.Fatalf("stats %+v inconsistent with flush %+v", st, flushed)
+	if st.Shards != 1 || st.Route != RouteHash || len(st.PerShard) != 1 {
+		t.Fatalf("sharded stats header %+v", st)
 	}
-	if st.Serve.Docs != int64(n) || st.Serve.Batches == 0 {
-		t.Fatalf("serve counters %+v, want %d docs", st.Serve, n)
+	if st.Total.Templates != flushed.Templates || st.Total.PendingDocs != 0 {
+		t.Fatalf("stats %+v inconsistent with flush %+v", st.Total, flushed)
+	}
+	if st.Total.Serve.Docs != int64(n) || st.Total.Serve.Batches == 0 {
+		t.Fatalf("serve counters %+v, want %d docs", st.Total.Serve, n)
 	}
 
 	// A second ingest probes the now-mined template set, so the matcher
@@ -177,7 +195,7 @@ func TestServerFlushTemplatesStats(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/v1/stats", &st); code != http.StatusOK {
 		t.Fatalf("stats: status %d", code)
 	}
-	m := st.Matcher
+	m := st.Total.Matcher
 	if m.Probes == 0 || m.DPRuns+m.DPPruned != m.Candidates {
 		t.Fatalf("matcher counters out of balance: %+v", m)
 	}
@@ -214,10 +232,18 @@ func TestServerSnapshotBody(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// The body is a loadable detector state.
+	// The body is the combined manifest form: inline per-shard states,
+	// each a loadable detector snapshot.
+	var man manifestV2
+	if err := json.Unmarshal(state, &man); err != nil {
+		t.Fatalf("snapshot body is not a manifest: %v", err)
+	}
+	if man.Version != 2 || man.Shards != 1 || len(man.States) != 1 || len(man.HWM) != 1 {
+		t.Fatalf("manifest %+v", man)
+	}
 	restored := stream.New(core.Options{})
-	if err := restored.Load(bytes.NewReader(state)); err != nil {
-		t.Fatalf("response body is not a loadable snapshot: %v", err)
+	if err := restored.Load(bytes.NewReader(man.States[0])); err != nil {
+		t.Fatalf("inline state is not a loadable snapshot: %v", err)
 	}
 	if restored.NumTemplates() == 0 {
 		t.Fatal("no templates restored from snapshot body")
@@ -253,17 +279,19 @@ func TestServerSnapshotFile(t *testing.T) {
 		t.Fatalf("snapshot response %+v, want path %s", snap, override)
 	}
 
+	// Both snapshots must boot a fresh sharded daemon with the templates
+	// intact (manifest + shard files resolved relative to the manifest).
 	for _, path := range []string{defaultPath, override} {
-		data, err := os.ReadFile(path)
+		sh2 := newTestSharded(t, ShardedConfig{StatePath: path}, 0)
+		tmpls, err := sh2.Templates()
 		if err != nil {
 			t.Fatal(err)
 		}
-		restored := stream.New(core.Options{})
-		if err := restored.Load(bytes.NewReader(data)); err != nil {
-			t.Fatalf("%s: not a loadable snapshot: %v", path, err)
-		}
-		if restored.NumTemplates() == 0 {
+		if len(tmpls) == 0 {
 			t.Fatalf("%s: no templates restored", path)
+		}
+		if err := sh2.Close(); err != nil {
+			t.Fatal(err)
 		}
 	}
 }
@@ -284,11 +312,10 @@ func TestServerHealthAndPprof(t *testing.T) {
 }
 
 func TestServerClosedReturns503(t *testing.T) {
-	det := stream.New(core.Options{})
-	c := NewCoalescer(det, Options{})
-	ts := httptest.NewServer(NewServer(c, "").Handler())
+	sh := newTestSharded(t, ShardedConfig{}, 0)
+	ts := httptest.NewServer(NewServer(sh, "").Handler())
 	defer ts.Close()
-	if err := c.Close(); err != nil {
+	if err := sh.Close(); err != nil {
 		t.Fatal(err)
 	}
 	if code := postJSON(t, ts.URL+"/v1/docs", `{"text":"aa bb"}`, nil); code != http.StatusServiceUnavailable {

@@ -1,0 +1,131 @@
+package serve
+
+import "unicode"
+
+// Routing modes for the sharder. The route key is a pure function of the
+// document's token stream, so a document always lands on the same shard
+// — across requests, restarts, and replay — which is the invariant every
+// equivalence and durability argument rests on.
+const (
+	// RouteHash routes by an FNV-1a hash of the token stream: balanced by
+	// construction, but near-duplicate documents of one campaign scatter
+	// across shards (their slot fills differ), so each shard mines its
+	// own copy of a hot template from its share of the members.
+	RouteHash = "hash"
+	// RouteLang routes by the dominant script of the token stream (a
+	// language proxy detectable without any model): templates never match
+	// across languages (InfoShield Advantage 1), so the template space
+	// partitions cleanly and every campaign's members stay together on
+	// one shard. Documents with no letters fall back to the content hash.
+	// The price is balance — a monolingual corpus lands on one shard.
+	RouteLang = "lang"
+)
+
+// validRoute reports whether mode names a routing mode.
+func validRoute(mode string) bool {
+	return mode == RouteHash || mode == RouteLang
+}
+
+// FNV-1a 64-bit, hand-rolled so hashing a token stream allocates
+// nothing (hash/fnv needs a []byte per write).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvWords hashes a token stream. Tokens are separated by 0xFF — a byte
+// that never occurs in valid UTF-8 — so {"ab","c"} and {"a","bc"} hash
+// differently.
+func fnvWords(words []string) uint64 {
+	h := uint64(fnvOffset64)
+	for _, w := range words {
+		for i := 0; i < len(w); i++ {
+			h ^= uint64(w[i])
+			h *= fnvPrime64
+		}
+		h ^= 0xFF
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func fnvString(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// scriptClasses are the script buckets dominantScript counts, widest
+// first only in the sense of iteration determinism — ties break toward
+// the earlier entry. Script is a proxy for language: it is what the
+// token stream exposes without a language-ID model, and it already
+// satisfies the partition invariant (a template's constants are written
+// in one script).
+var scriptClasses = []struct {
+	name string
+	rt   *unicode.RangeTable
+}{
+	{"latin", unicode.Latin},
+	{"cyrillic", unicode.Cyrillic},
+	{"greek", unicode.Greek},
+	{"arabic", unicode.Arabic},
+	{"hebrew", unicode.Hebrew},
+	{"devanagari", unicode.Devanagari},
+	{"thai", unicode.Thai},
+	{"hangul", unicode.Hangul},
+	{"han", unicode.Han},
+	{"hiragana", unicode.Hiragana},
+	{"katakana", unicode.Katakana},
+}
+
+// dominantScript classifies a token stream by majority letter script.
+// Any kana at all reports "japanese" (Japanese text is a Han/kana mix
+// that would otherwise split from pure-Han Chinese inconsistently);
+// otherwise the script with the most runes wins, ties broken by table
+// order. ok is false when no rune matched any class (digits-only,
+// punctuation-only, or an unlisted script) — the caller falls back to
+// the content hash.
+func dominantScript(words []string) (script string, ok bool) {
+	counts := make([]int, len(scriptClasses))
+	kana := 0
+	for _, w := range words {
+		for _, r := range w {
+			for ci := range scriptClasses {
+				if unicode.Is(scriptClasses[ci].rt, r) {
+					counts[ci]++
+					if name := scriptClasses[ci].name; name == "hiragana" || name == "katakana" {
+						kana++
+					}
+					break
+				}
+			}
+		}
+	}
+	if kana > 0 {
+		return "japanese", true
+	}
+	best, bestCount := -1, 0
+	for ci, n := range counts {
+		if n > bestCount {
+			best, bestCount = ci, n
+		}
+	}
+	if best < 0 {
+		return "", false
+	}
+	return scriptClasses[best].name, true
+}
+
+// routeKey maps one tokenized document to its routing key under mode.
+// The sharder computes shard = routeKey % shards.
+func routeKey(mode string, words []string) uint64 {
+	if mode == RouteLang {
+		if script, ok := dominantScript(words); ok {
+			return fnvString(script)
+		}
+	}
+	return fnvWords(words)
+}

@@ -62,6 +62,20 @@ type Options struct {
 	// QueueDepth bounds the ingest queue in requests (default 1024);
 	// submitters block once it fills, providing backpressure.
 	QueueDepth int
+	// Commit, when set, is invoked by the sequencer after each batch's
+	// AddBatch and before any waiter is acked — the write-ahead-log hook:
+	// one call per group commit, so WAL batching (and its single fsync)
+	// rides the coalescer's natural batching for free. ids and texts run
+	// in lockstep and must not be retained after the call returns. A
+	// returned error is counted (Counters.CommitErrs) but the batch is
+	// still acked: by then the detector has committed it.
+	Commit func(ids []int, texts []string) error
+	// SlowCommit injects a per-batch delay after each commit — a
+	// measurement hook that simulates slow commits (giant template sets,
+	// WAL fsync on spinning disks) so batching amortization is visible
+	// even on single-core machines, where natural batches otherwise never
+	// form. Zero (the default) for production; verdicts are unaffected.
+	SlowCommit time.Duration
 }
 
 func (o Options) maxBatch() int {
@@ -91,6 +105,7 @@ func (o Options) queueDepth() int {
 // detector without any locking.
 type request struct {
 	texts    []string
+	words    [][]string // pre-tokenized streams (SubmitTokens), or nil
 	verdicts chan []Verdict
 	ctl      func(d *stream.Detector)
 	ctlDone  chan struct{}
@@ -136,6 +151,10 @@ type Counters struct {
 	// dequeue to AddBatch start); divided by Batches it is the mean
 	// latency the group-commit adds.
 	CoalesceWaitNs int64 `json:"coalesce_wait_ns"`
+	// CommitErrs counts Options.Commit (write-ahead log) failures; any
+	// nonzero value means durability is degraded and the log needs
+	// operator attention.
+	CommitErrs int64 `json:"commit_errs"`
 }
 
 // MatcherStats mirrors stream.Stats with JSON tags for the HTTP API,
@@ -187,6 +206,7 @@ type Coalescer struct {
 	// batch-assembly scratch, sequencer-owned and reused across flushes.
 	reqbuf  []request
 	textbuf []string
+	wordbuf [][]string
 }
 
 // NewCoalescer wraps det and starts the sequencer goroutine. The caller
@@ -208,11 +228,23 @@ func NewCoalescer(det *stream.Detector, opt Options) *Coalescer {
 // contiguous ids: requests coalesce whole, they are never split across
 // batches. Returns ErrClosed once Close has begun.
 func (c *Coalescer) Submit(texts []string) ([]Verdict, error) {
+	return c.submit(texts, nil)
+}
+
+// SubmitTokens is Submit over pre-tokenized documents: words[i] must be
+// the package tokenizer's stream for texts[i]. The sharder tokenizes
+// once to compute each document's routing key and hands the streams
+// down here, so the detector's encode step never re-tokenizes.
+func (c *Coalescer) SubmitTokens(texts []string, words [][]string) ([]Verdict, error) {
+	return c.submit(texts, words)
+}
+
+func (c *Coalescer) submit(texts []string, words [][]string) ([]Verdict, error) {
 	if len(texts) == 0 {
 		return []Verdict{}, nil
 	}
 	done := make(chan []Verdict, 1)
-	if err := c.enqueue(request{texts: texts, verdicts: done}); err != nil {
+	if err := c.enqueue(request{texts: texts, words: words, verdicts: done}); err != nil {
 		return nil, err
 	}
 	return <-done, nil
@@ -309,6 +341,24 @@ func (c *Coalescer) Snapshot(w io.Writer) error {
 		return err
 	}
 	return saveErr
+}
+
+// SnapshotFlush mines the pending buffer, serializes the template state
+// to w, and returns the document-id high-water mark — all in one control
+// step, so the written state is self-contained at exactly hwm documents:
+// write-ahead-log replay can skip every record below hwm and reproduce
+// the pre-snapshot detector from the state file alone. This is the
+// per-shard primitive behind the sharded snapshot manifest.
+func (c *Coalescer) SnapshotFlush(w io.Writer) (hwm int, err error) {
+	var saveErr error
+	if derr := c.do(func(d *stream.Detector) {
+		d.Flush()
+		saveErr = d.Save(w)
+		hwm = d.NextID()
+	}); derr != nil {
+		return 0, derr
+	}
+	return hwm, saveErr
 }
 
 // Load restores templates saved by Snapshot (or stream.Detector.Save)
@@ -421,10 +471,22 @@ collect:
 // commit runs one AddBatch over the coalesced texts and distributes the
 // per-document verdicts back to the waiting submitters, whose verdict
 // channels are buffered so the sequencer never blocks on a slow reader.
+// When every request arrived pre-tokenized (SubmitTokens), the batch
+// goes through AddBatchTokens so no document is tokenized twice; a
+// single untokenized request falls the whole batch back to AddBatch.
 func (c *Coalescer) commit(reqs []request, docs int, start time.Time, reason flushReason) {
 	texts := c.textbuf[:0]
+	words := c.wordbuf[:0]
+	tokenized := true
 	for _, r := range reqs {
 		texts = append(texts, r.texts...)
+		if r.words == nil {
+			tokenized = false
+			continue
+		}
+		if tokenized {
+			words = append(words, r.words...)
+		}
 	}
 	c.ctr.CoalesceWaitNs += time.Since(start).Nanoseconds()
 	c.ctr.Docs += int64(docs)
@@ -450,7 +512,23 @@ func (c *Coalescer) commit(reqs []request, docs int, start time.Time, reason flu
 	}
 	c.ctr.BatchSizeHist[bucket]++
 
-	ids := c.det.AddBatch(texts)
+	var ids []int
+	if tokenized {
+		ids = c.det.AddBatchTokens(texts, words)
+	} else {
+		ids = c.det.AddBatch(texts)
+	}
+	if c.opt.Commit != nil {
+		// Write-ahead of the ack: the log record lands (and syncs) before
+		// any waiter learns its verdict, so an acked document survives a
+		// crash. One call per group commit — WAL batching for free.
+		if err := c.opt.Commit(ids, texts); err != nil {
+			c.ctr.CommitErrs++
+		}
+	}
+	if c.opt.SlowCommit > 0 {
+		time.Sleep(c.opt.SlowCommit)
+	}
 	k := 0
 	for _, r := range reqs {
 		vs := make([]Verdict, len(r.texts))
@@ -462,4 +540,5 @@ func (c *Coalescer) commit(reqs []request, docs int, start time.Time, reason flu
 		r.verdicts <- vs
 	}
 	c.textbuf = texts[:0]
+	c.wordbuf = words[:0]
 }

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// stubDetector records the replay calls the WAL makes, standing in for a
+// stream.Detector rebased to some high-water mark.
+type stubDetector struct {
+	next    int
+	added   []string
+	flushes int
+}
+
+func (s *stubDetector) Add(text string) int {
+	s.added = append(s.added, text)
+	s.next++
+	return s.next - 1
+}
+
+func (s *stubDetector) Flush() { s.flushes++ }
+
+func TestWALAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+
+	w, err := openWAL(path, &stubDetector{}, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append([]int{0, 1, 2}, []string{"aa", "bb", "cc"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.appendFlush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append([]int{3, 4}, []string{"dd", "ee"}); err != nil {
+		t.Fatal(err)
+	}
+	st := w.stats()
+	if st.Records != 5 || st.Batches != 2 || st.Flushes != 1 || st.Replayed != 0 {
+		t.Fatalf("writer stats %+v", st)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full replay from scratch: every record, in order, flush included.
+	det := &stubDetector{}
+	w2, err := openWAL(path, det, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.close()
+	wantDocs := []string{"aa", "bb", "cc", "dd", "ee"}
+	if len(det.added) != len(wantDocs) || det.flushes != 1 {
+		t.Fatalf("replayed %d docs %d flushes, want %d docs 1 flush", len(det.added), det.flushes, len(wantDocs))
+	}
+	for i, d := range det.added {
+		if d != wantDocs[i] {
+			t.Fatalf("replayed doc %d = %q, want %q", i, d, wantDocs[i])
+		}
+	}
+	if got := w2.stats().Replayed; got != 5 {
+		t.Fatalf("replayed counter %d, want 5", got)
+	}
+
+	// Partial replay above a snapshot high-water mark: records below hwm
+	// skip (the flush marker below hwm too — it is folded into the
+	// snapshot), the detector resumes at hwm.
+	det3 := &stubDetector{next: 4}
+	w3, err := openWAL(path, det3, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.close()
+	if len(det3.added) != 1 || det3.added[0] != "ee" || det3.flushes != 0 {
+		t.Fatalf("hwm=4 replay: added %v flushes %d", det3.added, det3.flushes)
+	}
+}
+
+// TestWALFlushMarkerAtBoundary verifies a flush marker logged after the
+// snapshot point is re-executed (pos >= hwm) while one before it is not.
+func TestWALFlushMarkerAtBoundary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := openWAL(path, &stubDetector{}, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = w.append([]int{0, 1}, []string{"aa", "bb"})
+	_ = w.appendFlush() // pre-snapshot: folded into state at hwm 2
+	_ = w.append([]int{2}, []string{"cc"})
+	_ = w.appendFlush() // post-snapshot: must be replayed
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	det := &stubDetector{next: 2}
+	w2, err := openWAL(path, det, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.close()
+	if len(det.added) != 1 || det.added[0] != "cc" || det.flushes != 1 {
+		t.Fatalf("boundary replay: added %v flushes %d, want [cc] 1", det.added, det.flushes)
+	}
+}
+
+func TestWALTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	intact := `{"id":0,"text":"aa"}` + "\n" + `{"id":1,"text":"bb"}` + "\n"
+	if err := os.WriteFile(path, []byte(intact+`{"id":2,"te`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	det := &stubDetector{}
+	w, err := openWAL(path, det, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det.added) != 2 {
+		t.Fatalf("replayed %d records past a torn tail, want 2", len(det.added))
+	}
+	// The torn tail is truncated away so the next append starts at a
+	// record boundary.
+	if info, err := os.Stat(path); err != nil || info.Size() != int64(len(intact)) {
+		t.Fatalf("size after torn-tail truncation: %v %d, want %d", err, info.Size(), len(intact))
+	}
+	if err := w.append([]int{2}, []string{"cc"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	det2 := &stubDetector{}
+	w2, err := openWAL(path, det2, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.close()
+	if len(det2.added) != 3 || det2.added[2] != "cc" {
+		t.Fatalf("post-repair replay %v, want 3 docs ending cc", det2.added)
+	}
+}
+
+// TestWALStateLogMismatch: replay ids must match what the detector
+// assigns — a drifted state file (wrong snapshot next to this log) is a
+// hard boot error, not silent corruption.
+func TestWALStateLogMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	if err := os.WriteFile(path, []byte(`{"id":7,"text":"aa"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openWAL(path, &stubDetector{}, 0, false); err == nil {
+		t.Fatal("id mismatch replay did not error")
+	}
+}
+
+func TestWALTruncate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := openWAL(path, &stubDetector{}, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.append([]int{i}, []string{fmt.Sprintf("doc%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := os.Stat(path); err != nil || info.Size() != 0 {
+		t.Fatalf("truncated log size %d, want 0", info.Size())
+	}
+	det := &stubDetector{}
+	w2, err := openWAL(path, det, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.close()
+	if len(det.added) != 0 {
+		t.Fatalf("replayed %d from a truncated log", len(det.added))
+	}
+}

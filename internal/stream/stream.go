@@ -163,8 +163,38 @@ func (d *Detector) Assignment(id int) Assignment {
 // attaches to an existing template immediately or buffers for the next
 // mining pass (triggered automatically at BatchSize).
 func (d *Detector) Add(text string) int {
-	toks := d.vocab.Encode(d.tk.Tokens(text))
+	return d.AddTokens(text, d.tk.Tokens(text))
+}
+
+// AddTokens is Add over a pre-tokenized document: words must be the
+// token stream the package tokenizer produces for text. Serving front
+// ends that already tokenized text — shard routing hashes or
+// language-detects the token stream — reuse that work here instead of
+// tokenizing a second time.
+func (d *Detector) AddTokens(text string, words []string) int {
+	toks := d.vocab.Encode(words)
 	return d.apply(text, d.match(toks, d.vocab.Size(), &d.sc, &d.stats))
+}
+
+// NextID returns the id the next ingested document will receive (equal
+// to the number of documents ingested plus any SetNextID base). It is
+// the snapshot high-water mark the serving layer persists.
+func (d *Detector) NextID() int { return d.nextID }
+
+// SetNextID rebases document ids so the next ingested document receives
+// id n. Only legal before any document has been ingested: a serving
+// shard restored from a snapshot rebases to the snapshot's high-water
+// mark, so write-ahead-log replay reassigns exactly the logged ids and
+// post-restart ids never collide with pre-snapshot ones.
+func (d *Detector) SetNextID(n int) error {
+	if d.nextID != 0 || len(d.assignments) != 0 || len(d.pendingTexts) != 0 {
+		return fmt.Errorf("stream: SetNextID(%d) after documents were ingested", n)
+	}
+	if n < 0 {
+		return fmt.Errorf("stream: SetNextID(%d): negative id", n)
+	}
+	d.nextID = n
+	return nil
 }
 
 // apply commits one matched-or-buffered verdict in arrival order: the
@@ -204,12 +234,24 @@ func (d *Detector) apply(text string, verdict int) int {
 // are applied sequentially in arrival order, firing any flush exactly
 // where the serial loop would.
 func (d *Detector) AddBatch(texts []string) []int {
+	if len(texts) == 0 {
+		return []int{}
+	}
+	return d.AddBatchTokens(texts, d.tk.All(texts, par.Workers(d.Options.Workers)))
+}
+
+// AddBatchTokens is AddBatch over pre-tokenized documents: words[i]
+// must be the token stream of texts[i] as produced by the package
+// tokenizer. The serving sharder tokenizes once per document to compute
+// its routing key and hands the streams through here, so the encode
+// step never re-tokenizes. Verdicts are identical to AddBatch (the
+// tokenizer is a pure function of the text).
+func (d *Detector) AddBatchTokens(texts []string, words [][]string) []int {
 	ids := make([]int, len(texts))
 	if len(texts) == 0 {
 		return ids
 	}
 	workers := par.Workers(d.Options.Workers)
-	words := d.tk.All(texts, workers)
 	toks := make([][]int, len(texts))
 	sizes := make([]int, len(texts)) // vocab size after encoding doc i
 	verdicts := make([]int, len(texts))
