@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test build vet vet-fast race race-short fuzz fuzz-stream fuzz-serve bench bench-coarse bench-json bench-scale bench-shard bench-all experiments
+.PHONY: check test build vet vet-fast race race-short fuzz fuzz-stream fuzz-serve bench bench-coarse bench-json bench-scale bench-shard bench-all profile-scale experiments
 
 ## check: the full gate — vet (go vet + infoshield-vet), build, and
 ## race-enabled tests.
@@ -96,6 +96,17 @@ bench-json:
 bench-scale:
 	$(GO) test -bench='StreamAddScale' -benchmem -count=$(BENCH_COUNT) -run '^$$' -timeout 30m > BENCH_scale.txt
 	$(GO) run ./cmd/benchjson -o BENCH_scale.json < BENCH_scale.txt
+
+## profile-scale: CPU and heap profiles of the 100k-template steady-state
+## Add path (BenchmarkStreamAddScale), written to profile_scale_cpu.out /
+## profile_scale_mem.out for `go tool pprof`. CI uploads both as
+## artifacts so a perf regression caught by bench-scale can be diagnosed
+## from the archived run without reproducing locally.
+profile-scale:
+	$(GO) test -bench='StreamAddScale/templates=100000' -run '^$$' -timeout 30m \
+		-cpuprofile profile_scale_cpu.out -memprofile profile_scale_mem.out \
+		-o profile_scale.test > PROFILE_scale.txt
+	cat PROFILE_scale.txt
 
 ## bench-shard: the sharded-serving sweep — shards 1/2/4/8 under 16 and
 ## 64 concurrent clients, plus WAL-enabled points at 1 and 4 shards —

@@ -29,7 +29,14 @@ type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
-	// Extra holds any benchmark metric beyond the standard three
+	// CandPerProbe and DPSkipRate are the matcher's two headline serving
+	// metrics (candidates examined per probe, and the fraction of
+	// candidates resolved without an exact DP), promoted from Extra so
+	// regression tooling can diff them without knowing ReportMetric unit
+	// strings.
+	CandPerProbe float64 `json:"cand_per_probe,omitempty"`
+	DPSkipRate   float64 `json:"dp_skip_rate,omitempty"`
+	// Extra holds any benchmark metric beyond those above
 	// (e.g. MB/s from SetBytes, or custom ReportMetric units).
 	Extra map[string]float64 `json:"extra,omitempty"`
 }
@@ -126,6 +133,10 @@ func parseResult(line string) (result, bool) {
 			res.BytesPerOp = v
 		case "allocs/op":
 			res.AllocsPerOp = v
+		case "cand/probe":
+			res.CandPerProbe = v
+		case "dpskip/candidate":
+			res.DPSkipRate = v
 		default:
 			if res.Extra == nil {
 				res.Extra = map[string]float64{}

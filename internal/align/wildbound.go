@@ -1,0 +1,73 @@
+package align
+
+import "infoshield/internal/mdl"
+
+// WildBounder is the batched form of WildConditionalLowerBound and
+// WildDistanceLowerBound for the serving hot path: the document length and
+// the (numTemplates, vocabSize)-dependent cost constants are hoisted once
+// per probe, so evaluating the bound over a whole structure-of-arrays
+// candidate batch is a tight loop of integer clamps and a handful of
+// float operations — no math.Log2 per candidate.
+//
+// Both methods assume the template's SlotWords vector is an all-ones
+// prefix (the serving invariant: every registered template's SlotWords is
+// a prefix of one shared all-ones vector), and evaluate the exact same
+// float expression tree as the originals via mdl.MatchCoster.CostOnes, so
+// the returned bounds are bit-identical — pruning decisions cannot drift.
+// TestWildBounderBitIdentical pins both methods against the originals.
+type WildBounder struct {
+	docLen int
+	coster mdl.MatchCoster
+}
+
+// NewWildBounder hoists the per-probe constants for a document of docLen
+// tokens matched against numTemplates templates over a vocabSize-word
+// vocabulary.
+func NewWildBounder(docLen, numTemplates, vocabSize int) WildBounder {
+	return WildBounder{docLen: docLen, coster: mdl.NewMatchCoster(numTemplates, vocabSize)}
+}
+
+// Bound is WildConditionalLowerBound(refLen, docLen, overlap, ones[:slots],
+// numTemplates, vocabSize) with the constants pre-hoisted.
+func (b WildBounder) Bound(refLen, overlap, slots int) float64 {
+	alignLen := refLen
+	if b.docLen > alignLen {
+		alignLen = b.docLen
+	}
+	maxMatches := overlap + slots
+	if mn := min(refLen, b.docLen); maxMatches > mn {
+		maxMatches = mn
+	}
+	unmatched := alignLen - maxMatches
+	if unmatched < 0 {
+		unmatched = 0
+	}
+	added := b.docLen - maxMatches
+	if added < 0 {
+		added = 0
+	}
+	return b.coster.CostOnes(alignLen, unmatched, added, slots)
+}
+
+// CostOnes exposes the hoisted mdl.MatchCoster for callers that apply
+// their own clamps (the tier-0 bucket bound) or cost a finished alignment
+// (the winner's exact cost) — same per-probe constants, same bit-exact
+// expression tree as mdl.DataCostMatched over all-ones SlotWords.
+func (b WildBounder) CostOnes(alignLen, unmatched, added, slots int) float64 {
+	return b.coster.CostOnes(alignLen, unmatched, added, slots)
+}
+
+// DistBound is WildDistanceLowerBound(refLen, docLen, dist, ones[:slots],
+// numTemplates, vocabSize) with the constants pre-hoisted.
+func (b WildBounder) DistBound(refLen, dist, slots int) float64 {
+	alignLen := refLen
+	if b.docLen > alignLen {
+		alignLen = b.docLen
+	}
+	maxDels := (dist - (b.docLen - refLen)) / 2
+	added := dist - maxDels
+	if added < 0 {
+		added = 0
+	}
+	return b.coster.CostOnes(alignLen, dist, added, slots)
+}

@@ -1,0 +1,52 @@
+package align
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestWildBounderBitIdentical pins WildBounder.Bound and .DistBound to
+// the exact bit patterns of WildConditionalLowerBound and
+// WildDistanceLowerBound over all-ones SlotWords vectors — the serving
+// invariant. Bit equality (not ApproxEq) is the contract: the batched
+// bound loop must make byte-identical pruning decisions.
+func TestWildBounderBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ones := make([]int, 32)
+	for i := range ones {
+		ones[i] = 1
+	}
+	for it := 0; it < 20000; it++ {
+		refLen := 1 + rng.Intn(96)
+		docLen := rng.Intn(96)
+		slots := rng.Intn(min(refLen, len(ones)) + 1)
+		overlap := rng.Intn(refLen + 2)
+		numT := 1 + rng.Intn(200000)
+		vocab := 2 + rng.Intn(5000000)
+		b := NewWildBounder(docLen, numT, vocab)
+
+		want := WildConditionalLowerBound(refLen, docLen, overlap, ones[:slots], numT, vocab)
+		got := b.Bound(refLen, overlap, slots)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("Bound(ref=%d doc=%d ov=%d slots=%d t=%d V=%d) = %v, want %v",
+				refLen, docLen, overlap, slots, numT, vocab, got, want)
+		}
+
+		// dist must be a feasible distance: at least |docLen - refLen|.
+		dist := abs(docLen-refLen) + rng.Intn(16)
+		want = WildDistanceLowerBound(refLen, docLen, dist, ones[:slots], numT, vocab)
+		got = b.DistBound(refLen, dist, slots)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("DistBound(ref=%d doc=%d dist=%d slots=%d t=%d V=%d) = %v, want %v",
+				refLen, docLen, dist, slots, numT, vocab, got, want)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

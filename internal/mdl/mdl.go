@@ -171,6 +171,45 @@ func DataCostMatched(a AlignStats, numTemplates, vocabSize int) float64 {
 	return cost
 }
 
+// MatchCoster is DataCostMatched with the per-probe constants hoisted:
+// the template-flag + lg t prefix, lg V, and the all-ones slot cost S(1)
+// are computed once per probe instead of once per candidate (lg V is a
+// live math.Log2 whenever the vocabulary outgrows the lookup table, and
+// the serving path evaluates it ~4× per bound). The serving matcher's
+// SlotWords vectors are always all-ones prefixes of one shared vector, so
+// CostOnes covers every cost the hot path computes.
+type MatchCoster struct {
+	base    float64 // 1 + LgInt(numTemplates), the matched-document prefix
+	lgV     float64 // WordCost(vocabSize)
+	slotOne float64 // SlotCost(1, vocabSize)
+}
+
+// NewMatchCoster hoists the (numTemplates, vocabSize)-dependent terms.
+func NewMatchCoster(numTemplates, vocabSize int) MatchCoster {
+	return MatchCoster{
+		base:    1 + LgInt(numTemplates),
+		lgV:     WordCost(vocabSize),
+		slotOne: SlotCost(1, vocabSize),
+	}
+}
+
+// CostOnes returns DataCostMatched for AlignStats{alignLen, unmatched,
+// added, SlotWords: all-ones of length slots} — bit-identical, not merely
+// approximately equal: the summation tree is the same left-associated
+// chain (base holds the identical fl(1 + lg t) prefix), and the slot loop
+// adds the identical precomputed S(1) value the original loop recomputes,
+// in the same order. TestMatchCosterBitIdentical pins this.
+func (c MatchCoster) CostOnes(alignLen, unmatched, added, slots int) float64 {
+	cost := c.base +
+		Universal(alignLen) + float64(alignLen) +
+		float64(unmatched)*(LgInt(alignLen)+opTypeBits) +
+		float64(added)*c.lgV
+	for k := 0; k < slots; k++ {
+		cost += c.slotOne
+	}
+	return cost
+}
+
 // DataCostUnmatched returns the cost of a document no template encodes:
 // 1 bit for the "no template" flag plus lg V per word.
 func DataCostUnmatched(length, vocabSize int) float64 {

@@ -1,0 +1,38 @@
+package mdl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMatchCosterBitIdentical pins MatchCoster.CostOnes to the exact bit
+// patterns of DataCostMatched over all-ones SlotWords vectors: the hoisted
+// form must make byte-identical cost comparisons on the serving path.
+func TestMatchCosterBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ones := make([]int, 24)
+	for i := range ones {
+		ones[i] = 1
+	}
+	for it := 0; it < 20000; it++ {
+		alignLen := rng.Intn(4000) // straddles the lookup-table boundary
+		unmatched := rng.Intn(alignLen + 2)
+		added := rng.Intn(alignLen + 2)
+		slots := rng.Intn(len(ones) + 1)
+		numT := 1 + rng.Intn(300000)
+		vocab := 2 + rng.Intn(8000000)
+		co := NewMatchCoster(numT, vocab)
+		want := DataCostMatched(AlignStats{
+			AlignLen:   alignLen,
+			Unmatched:  unmatched,
+			AddedWords: added,
+			SlotWords:  ones[:slots],
+		}, numT, vocab)
+		got := co.CostOnes(alignLen, unmatched, added, slots)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("CostOnes(l=%d e=%d u=%d s=%d t=%d V=%d) = %v, want %v",
+				alignLen, unmatched, added, slots, numT, vocab, got, want)
+		}
+	}
+}

@@ -171,6 +171,24 @@ type MatcherStats struct {
 	DPPruned    int `json:"dp_pruned"`
 	BitDPRuns   int `json:"bitdp_runs"`
 	BitDPPruned int `json:"bitdp_pruned"`
+	// BandRuns counts exact alignments routed through the banded DP;
+	// BandRetries counts band widenings (zero in healthy operation — the
+	// band is seeded with the exact bit-parallel distance).
+	BandRuns    int `json:"band_runs"`
+	BandRetries int `json:"band_retries"`
+	// BitmapSkips counts probes the token → bucket-set bitmap resolved
+	// without touching a postings chunk; PostingsWalks counts the rest.
+	// They partition probes on the pruned path.
+	BitmapSkips   int `json:"bitmap_skips"`
+	PostingsWalks int `json:"postings_walks"`
+	// WalkNs / BoundNs / BitDPNs / ExactDPNs break the matcher's
+	// wall-clock down by stage (postings walk + candidate assembly,
+	// batched bound loop, bit-parallel refinement, exact alignment), so
+	// the per-probe constant cost is observable in production.
+	WalkNs    int64 `json:"walk_ns"`
+	BoundNs   int64 `json:"bound_ns"`
+	BitDPNs   int64 `json:"bitdp_ns"`
+	ExactDPNs int64 `json:"exactdp_ns"`
 	// DPSkipRate is DPPruned / Candidates, 0 before any probe.
 	DPSkipRate float64 `json:"dp_skip_rate"`
 	// CandPerProbeHist[k] counts probes whose surviving candidate set had
@@ -317,6 +335,14 @@ func (c *Coalescer) Stats() (Stats, error) {
 			DPPruned:         ds.DPPruned,
 			BitDPRuns:        ds.BitDPRuns,
 			BitDPPruned:      ds.BitDPPruned,
+			BandRuns:         ds.BandRuns,
+			BandRetries:      ds.BandRetries,
+			BitmapSkips:      ds.BitmapSkips,
+			PostingsWalks:    ds.PostingsWalks,
+			WalkNs:           ds.WalkNs,
+			BoundNs:          ds.BoundNs,
+			BitDPNs:          ds.BitDPNs,
+			ExactDPNs:        ds.ExactDPNs,
 			CandPerProbeHist: append([]int(nil), ds.CandHist[:]...),
 		}
 		if ds.Candidates > 0 {

@@ -65,7 +65,7 @@ func compareToReplay(t *testing.T, det *stream.Detector, texts []string, mineBat
 	if got, want := det.Pending(), ref.Pending(); got != want {
 		t.Fatalf("pending: coalesced %d != serial replay %d", got, want)
 	}
-	if got, want := det.Stats(), ref.Stats(); got != want {
+	if got, want := det.Stats().Counters(), ref.Stats().Counters(); got != want {
 		t.Fatalf("matcher stats: coalesced %+v != serial replay %+v", got, want)
 	}
 	return ref

@@ -409,6 +409,14 @@ func rollup(t *Stats, st Stats) {
 	m.DPPruned += sm.DPPruned
 	m.BitDPRuns += sm.BitDPRuns
 	m.BitDPPruned += sm.BitDPPruned
+	m.BandRuns += sm.BandRuns
+	m.BandRetries += sm.BandRetries
+	m.BitmapSkips += sm.BitmapSkips
+	m.PostingsWalks += sm.PostingsWalks
+	m.WalkNs += sm.WalkNs
+	m.BoundNs += sm.BoundNs
+	m.BitDPNs += sm.BitDPNs
+	m.ExactDPNs += sm.ExactDPNs
 	if len(m.CandPerProbeHist) < len(sm.CandPerProbeHist) {
 		m.CandPerProbeHist = append(m.CandPerProbeHist,
 			make([]int, len(sm.CandPerProbeHist)-len(m.CandPerProbeHist))...)

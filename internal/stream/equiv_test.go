@@ -167,6 +167,23 @@ func TestStreamPruningEquivalence(t *testing.T) {
 		if probeStats.Examined > 0 && probeStats.BitDPRuns == 0 {
 			t.Errorf("seed %d: bit-parallel refinement never ran", seed)
 		}
+		// The rare-token bitmap and the postings walk partition the pruned
+		// probes: every probe either proved all its tokens dead via the
+		// bitmap or walked at least one chain — never both, never neither.
+		if probeStats.BitmapSkips+probeStats.PostingsWalks != probeStats.Probes {
+			t.Fatalf("seed %d: bitmap skips %d + walks %d != probes %d",
+				seed, probeStats.BitmapSkips, probeStats.PostingsWalks, probeStats.Probes)
+		}
+		// Every banded alignment is one of the DP runs, and its band is
+		// seeded with the exact bit-parallel distance, so no widening retry
+		// can ever fire on the serving path.
+		if probeStats.BandRuns > probeStats.DPRuns {
+			t.Fatalf("seed %d: band runs %d > DP runs %d",
+				seed, probeStats.BandRuns, probeStats.DPRuns)
+		}
+		if probeStats.BandRetries != 0 {
+			t.Fatalf("seed %d: %d band retries on exact-seeded bands", seed, probeStats.BandRetries)
+		}
 
 		// The same corpus through the batched fan-out at several worker
 		// counts must land on the no-prune oracle's exact state too — the
@@ -183,9 +200,18 @@ func TestStreamPruningEquivalence(t *testing.T) {
 				d.Flush()
 			}
 			compareDetectors(t, fmt.Sprintf("seed %d workers %d", seed, workers), full, d)
-			if st := d.Stats(); st.DPPruned+st.DPRuns != st.Candidates {
+			st := d.Stats()
+			if st.DPPruned+st.DPRuns != st.Candidates {
 				t.Fatalf("seed %d workers %d: pruned %d + runs %d != candidates %d",
 					seed, workers, st.DPPruned, st.DPRuns, st.Candidates)
+			}
+			if st.BitmapSkips+st.PostingsWalks != st.Probes {
+				t.Fatalf("seed %d workers %d: bitmap skips %d + walks %d != probes %d",
+					seed, workers, st.BitmapSkips, st.PostingsWalks, st.Probes)
+			}
+			if st.BandRuns > st.DPRuns || st.BandRetries != 0 {
+				t.Fatalf("seed %d workers %d: band runs %d (DP runs %d), retries %d",
+					seed, workers, st.BandRuns, st.DPRuns, st.BandRetries)
 			}
 		}
 	}
@@ -223,7 +249,7 @@ func TestStreamWorkersEquivalence(t *testing.T) {
 			t.Fatalf("workers=%d: ids differ", workers)
 		}
 		compareDetectors(t, fmt.Sprintf("workers=%d", workers), serial, d)
-		if got, want := d.Stats(), serial.Stats(); got != want {
+		if got, want := d.Stats().Counters(), serial.Stats().Counters(); got != want {
 			t.Fatalf("workers=%d: stats %+v != serial %+v", workers, got, want)
 		}
 	}
@@ -314,7 +340,7 @@ func FuzzStreamOps(f *testing.F) {
 		a.Flush()
 		b.Flush()
 		compareDetectors(t, "final", a, b)
-		if a.Stats() != b.Stats() {
+		if a.Stats().Counters() != b.Stats().Counters() {
 			t.Fatalf("stats %+v vs %+v", a.Stats(), b.Stats())
 		}
 	})

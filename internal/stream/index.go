@@ -2,6 +2,7 @@ package stream
 
 import (
 	"math/bits"
+	"time"
 
 	"infoshield/internal/align"
 	"infoshield/internal/mdl"
@@ -119,6 +120,14 @@ type postingStore struct {
 	tails  []int32
 	counts []int32 // postings per token, to trigger saturation
 	chunks []postingChunk
+	// bsets is the token → bucket-set bitmap (bit b set when the token's
+	// live chain holds at least one chunk in bucket b; numBuckets ≤ 32).
+	// A probe ANDs it with the tier-0 live-bucket mask to decide in one
+	// word test whether walking the chain can contribute anything — the
+	// rare-token bitmap skip. Saturation zeroes it: the chain is dead and
+	// the token's contribution moves to the overlap credit. Rebuilt with
+	// the rest of the index whenever registration replays (Load).
+	bsets []uint32
 }
 
 func (ps *postingStore) grow(tok int) {
@@ -126,6 +135,7 @@ func (ps *postingStore) grow(tok int) {
 		ps.heads = append(ps.heads, noHead)
 		ps.tails = append(ps.tails, noHead)
 		ps.counts = append(ps.counts, 0)
+		ps.bsets = append(ps.bsets, 0)
 	}
 }
 
@@ -140,9 +150,11 @@ func (ps *postingStore) add(ti, bucket, tok, count int) {
 	if ps.counts[tok] >= satThreshold {
 		ps.heads[tok] = satHead
 		ps.tails[tok] = noHead
+		ps.bsets[tok] = 0
 		return
 	}
 	ps.counts[tok]++
+	ps.bsets[tok] |= 1 << uint(bucket)
 	ci := ps.tails[tok]
 	if ci == noHead || int(ps.chunks[ci].n) == chunkEntries || ps.chunks[ci].bucket != int16(bucket) {
 		ps.chunks = append(ps.chunks, postingChunk{next: noHead, bucket: int16(bucket)})
@@ -287,6 +299,30 @@ type Stats struct {
 	// BitDPPruned counts candidates the exact-distance bound rejected
 	// after the overlap bound had passed them (a subset of DPPruned).
 	BitDPPruned int
+	// BandRuns counts exact alignments routed through the banded DP
+	// (references within the bit cap, seeded by the bit-parallel
+	// distance); always ≤ DPRuns. BandRetries counts band widenings —
+	// zero whenever the seed distance is exact, so any nonzero value is a
+	// bug signal, not a tuning knob.
+	BandRuns    int
+	BandRetries int
+	// BitmapSkips counts probes whose tokens touched no live bucket (the
+	// token → bucket-set bitmap proved the whole postings walk useless);
+	// PostingsWalks counts probes that walked at least one chain. On the
+	// pruned path BitmapSkips + PostingsWalks == Probes.
+	BitmapSkips   int
+	PostingsWalks int
+	// WalkNs / BoundNs / BitDPNs / ExactDPNs attribute pruned-path
+	// wall-clock to the matcher's stages: tier-0 + postings walk +
+	// candidate assembly, the batched bound loop, the bit-parallel
+	// distance refinements (scan time minus exact DPs), and the exact
+	// alignments. Unlike every other field they are wall-clock — NOT a
+	// pure per-document function — so cross-worker equivalence checks
+	// must compare through Counters(), which zeroes them.
+	WalkNs    int64
+	BoundNs   int64
+	BitDPNs   int64
+	ExactDPNs int64
 	// CandHist is the log2 histogram of per-probe Examined sizes: bucket
 	// k counts probes with ⌈lg(n+1)⌉ = k surviving candidates. A drift
 	// toward high buckets says index pruning is degrading before mean
@@ -302,9 +338,27 @@ func (s *Stats) add(o Stats) {
 	s.DPPruned += o.DPPruned
 	s.BitDPRuns += o.BitDPRuns
 	s.BitDPPruned += o.BitDPPruned
+	s.BandRuns += o.BandRuns
+	s.BandRetries += o.BandRetries
+	s.BitmapSkips += o.BitmapSkips
+	s.PostingsWalks += o.PostingsWalks
+	s.WalkNs += o.WalkNs
+	s.BoundNs += o.BoundNs
+	s.BitDPNs += o.BitDPNs
+	s.ExactDPNs += o.ExactDPNs
 	for i := range s.CandHist {
 		s.CandHist[i] += o.CandHist[i]
 	}
+}
+
+// Counters returns s with the wall-clock timing fields zeroed — the
+// deterministic slice of the stats. Every remaining field is a pure
+// per-document function, identical for any Options.Workers; the
+// equivalence tests compare detectors through Counters() so scheduling-
+// dependent timings don't trip the exact-equality gates.
+func (s Stats) Counters() Stats {
+	s.WalkNs, s.BoundNs, s.BitDPNs, s.ExactDPNs = 0, 0, 0, 0
+	return s
 }
 
 // histBucket maps a per-probe candidate count into CandHist.
@@ -333,6 +387,14 @@ type matchScratch struct {
 	skip      [numBuckets]bool
 	wild      align.Scratch
 	stats     Stats
+	// cRef / cSlots / lbs are the structure-of-arrays candidate batch:
+	// one gather pass pulls the surviving candidates' shape numbers out
+	// of the meta slab, then the bound loop runs branch-light over flat
+	// parallel arrays instead of re-chasing meta per candidate, and the
+	// scan reads the precomputed bounds back by position.
+	cRef   []int32
+	cSlots []int32
+	lbs    []float64
 }
 
 // bucketBound is the tier-0 admissible lower bound on the matched cost of
@@ -341,11 +403,12 @@ type matchScratch struct {
 // expression tree as align.WildConditionalLowerBound at componentwise-
 // dominated inputs — alignLen from the bucket-min reference length,
 // matches from the bucket-max constants and slots, the slot sum over the
-// bucket-min slot count (a prefix of the same shared all-ones vector
-// every member's cost uses, so dropped terms are the identical
-// nonnegative S(1) values) — so bucketBound ≤ member bound ≤ exact cost
-// holds in floating point, not just exact arithmetic.
-func (d *Detector) bucketBound(bi *bucketInfo, docLen, overlap, numT, vocabSize int) float64 {
+// bucket-min slot count (every member's cost sums the identical all-ones
+// S(1) terms, so dropped terms are nonnegative) — so bucketBound ≤ member
+// bound ≤ exact cost holds in floating point, not just exact arithmetic.
+// The bound runs through the probe's hoisted WildBounder, whose CostOnes
+// is bit-identical to the mdl.DataCostMatched call it replaces.
+func (d *Detector) bucketBound(bounder align.WildBounder, bi *bucketInfo, docLen, overlap int) float64 {
 	alignLen := bi.rmin
 	if docLen > alignLen {
 		alignLen = docLen
@@ -362,12 +425,7 @@ func (d *Detector) bucketBound(bi *bucketInfo, docLen, overlap, numT, vocabSize 
 	if added < 0 {
 		added = 0
 	}
-	return mdl.DataCostMatched(mdl.AlignStats{
-		AlignLen:   alignLen,
-		Unmatched:  unmatched,
-		AddedWords: added,
-		SlotWords:  d.ones[:bi.smin],
-	}, numT, vocabSize)
+	return bounder.CostOnes(alignLen, unmatched, added, bi.smin)
 }
 
 // match returns the cheapest template whose encoding of toks beats the
@@ -416,12 +474,16 @@ func (d *Detector) match(toks []int, vocabSize int, sc *matchScratch, st *Stats)
 	}
 
 	ix := &d.index
+	walkStart := time.Now()
+	bounder := align.NewWildBounder(m, numT, vocabSize)
 
 	// Tier 0: evaluate each bucket's bound at its best-possible overlap
 	// against the standalone cost. A bucket that cannot beat a cost every
 	// candidate must beat is dead for this probe regardless of what the
-	// postings would have accumulated.
+	// postings would have accumulated. Live buckets accumulate into the
+	// bitmap mask the postings walk tests tokens against.
 	pruned := 0
+	var liveMask uint32
 	for b := range ix.buckets {
 		bi := &ix.buckets[b]
 		if len(bi.members) == 0 {
@@ -432,18 +494,24 @@ func (d *Detector) match(toks []int, vocabSize int, sc *matchScratch, st *Stats)
 		if ovMax > m {
 			ovMax = m
 		}
-		if d.bucketBound(bi, m, ovMax, numT, vocabSize) >= standalone {
+		if d.bucketBound(bounder, bi, m, ovMax) >= standalone {
 			sc.skip[b] = true
 			pruned += len(bi.members)
 		} else {
 			sc.skip[b] = false
+			liveMask |= 1 << uint(b)
 		}
 	}
 
 	// Tier 1/2: accumulate each live template's constant-token multiset
 	// overlap with the document — sort a copy of toks, walk its runs, and
 	// credit min(doc count, template count) per posting — while saturated
-	// tokens fold into the probe-wide credit.
+	// tokens fold into the probe-wide credit. The token → bucket-set
+	// bitmap short-circuits each run first: one AND against the live-
+	// bucket mask proves whether the chain holds any chunk the walk
+	// wouldn't skip, so rare-market probes whose tokens only index dead
+	// buckets (and noise probes, whose tokens index nothing) never touch
+	// a postings chunk at all.
 	if cap(sc.overlap) < numT {
 		sc.overlap = make([]int, numT)
 	}
@@ -453,7 +521,8 @@ func (d *Detector) match(toks []int, vocabSize int, sc *matchScratch, st *Stats)
 	sc.sorted = sorted
 	touched := sc.touched[:0]
 	credit := 0
-	heads, chunks := ix.store.heads, ix.store.chunks
+	walked := false
+	heads, chunks, bsets := ix.store.heads, ix.store.chunks, ix.store.bsets
 	for lo := 0; lo < len(sorted); {
 		hi := lo + 1
 		for hi < len(sorted) && sorted[hi] == sorted[lo] {
@@ -465,12 +534,16 @@ func (d *Detector) match(toks []int, vocabSize int, sc *matchScratch, st *Stats)
 		if tok >= len(heads) {
 			continue
 		}
-		h := heads[tok]
-		if h == satHead {
-			credit += dc
+		if bsets[tok]&liveMask == 0 {
+			// No live chunk anywhere in the chain: only the saturation
+			// credit (if any) survives of what the walk would have done.
+			if heads[tok] == satHead {
+				credit += dc
+			}
 			continue
 		}
-		for ci := h; ci != noHead; ci = chunks[ci].next {
+		walked = true
+		for ci := heads[tok]; ci != noHead; ci = chunks[ci].next {
 			ch := &chunks[ci]
 			if sc.skip[ch.bucket] {
 				continue
@@ -490,6 +563,11 @@ func (d *Detector) match(toks []int, vocabSize int, sc *matchScratch, st *Stats)
 		}
 	}
 	sc.touched = touched
+	if walked {
+		st.PostingsWalks++
+	} else {
+		st.BitmapSkips++
+	}
 
 	// Candidate keys pack (docLen − overlap) above the template index, so
 	// one integer sort yields overlap-descending, index-ascending order —
@@ -522,7 +600,7 @@ func (d *Detector) match(toks []int, vocabSize int, sc *matchScratch, st *Stats)
 		if ovZ > m {
 			ovZ = m
 		}
-		if d.bucketBound(bi, m, ovZ, numT, vocabSize) >= standalone {
+		if d.bucketBound(bounder, bi, m, ovZ) >= standalone {
 			pruned += unt
 			continue
 		}
@@ -537,6 +615,35 @@ func (d *Detector) match(toks []int, vocabSize int, sc *matchScratch, st *Stats)
 	st.Examined += len(cands)
 	st.CandHist[histBucket(len(cands))]++
 
+	// Batched bound evaluation: one gather pass pulls the candidates'
+	// shape numbers into flat parallel arrays, then the overlap bound —
+	// its per-probe constants hoisted into bounder — runs over the whole
+	// batch in a tight branch-light loop. The floats are bit-identical to
+	// the per-candidate align.WildConditionalLowerBound calls this
+	// replaces (pinned by TestWildBounderBitIdentical), so the pruning
+	// decisions below cannot drift.
+	boundStart := time.Now()
+	st.WalkNs += boundStart.Sub(walkStart).Nanoseconds()
+	if cap(sc.cRef) < len(cands) {
+		sc.cRef = make([]int32, len(cands))
+		sc.cSlots = make([]int32, len(cands))
+		sc.lbs = make([]float64, len(cands))
+	}
+	cRef := sc.cRef[:len(cands)]
+	cSlots := sc.cSlots[:len(cands)]
+	lbs := sc.lbs[:len(cands)]
+	for ii, key := range cands {
+		mt := &ix.meta[int(uint32(key))]
+		cRef[ii] = mt.refLen
+		cSlots[ii] = mt.slots
+	}
+	for ii, key := range cands {
+		ov := m - key>>32 + credit
+		lbs[ii] = bounder.Bound(int(cRef[ii]), ov, int(cSlots[ii]))
+	}
+	scanStart := time.Now()
+	st.BoundNs += scanStart.Sub(boundStart).Nanoseconds()
+
 	// Best-first bounded scan. canWin is the reordering-safe prune test:
 	// a candidate is dead only if its bound shows it can neither strictly
 	// beat bestCost nor tie it while owning a smaller index than the
@@ -546,35 +653,55 @@ func (d *Detector) match(toks []int, vocabSize int, sc *matchScratch, st *Stats)
 	canWin := func(lb float64, x int) bool {
 		return lb < bestCost || (best >= 0 && x < best && lb <= bestCost)
 	}
-	for _, key := range cands {
+	var exactNs int64
+	for ii, key := range cands {
 		x := int(uint32(key))
-		ov := m - key>>32 + credit
-		mt := &ix.meta[x]
-		t := &d.templates[x]
-		lb := align.WildConditionalLowerBound(int(mt.refLen), m, ov, t.SlotWords, numT, vocabSize)
-		if !canWin(lb, x) {
+		if !canWin(lbs[ii], x) {
 			pruned++
 			continue
 		}
-		if int(mt.refLen) <= align.WildBitCap {
+		refLen := int(cRef[ii])
+		if refLen <= align.WildBitCap {
 			// Survivor of the overlap bound: sharpen with the exact
-			// unit-cost distance in O(m) word ops before paying O(n·m).
-			dist := align.WildDistanceMasked(int(mt.refLen), mt.wildMask, mt.eqToks, mt.eqMasks, toks)
+			// unit-cost distance in O(m) word ops before paying the
+			// alignment DP.
+			mt := &ix.meta[x]
+			dist := align.WildDistanceMasked(refLen, mt.wildMask, mt.eqToks, mt.eqMasks, toks)
 			st.BitDPRuns++
-			rlb := align.WildDistanceLowerBound(int(mt.refLen), m, dist, t.SlotWords, numT, vocabSize)
+			rlb := bounder.DistBound(refLen, dist, int(cSlots[ii]))
 			if !canWin(rlb, x) {
 				pruned++
 				st.BitDPPruned++
 				continue
 			}
+			// Winner candidate: the exact distance seeds a band that
+			// shrinks the O(n·m) alignment to O(n·dist) with op-for-op
+			// identical output (see align.PairwiseWildBanded); the
+			// counts feed the same bit-exact hoisted cost.
+			st.DPRuns++
+			st.BandRuns++
+			t := &d.templates[x]
+			dpStart := time.Now()
+			a, retries := align.PairwiseWildBanded(t.Tokens, t.Wild, toks, dist, &sc.wild)
+			exactNs += time.Since(dpStart).Nanoseconds()
+			st.BandRetries += retries
+			cost := bounder.CostOnes(a.Len(), a.Distance(), a.Subs+a.Inss, int(cSlots[ii]))
+			if cost < bestCost || (best >= 0 && x < best && cost <= bestCost) {
+				best, bestCost = x, cost
+			}
+			continue
 		}
 		st.DPRuns++
+		dpStart := time.Now()
 		cost := exactCost(x)
+		exactNs += time.Since(dpStart).Nanoseconds()
 		if cost < bestCost || (best >= 0 && x < best && cost <= bestCost) {
 			best, bestCost = x, cost
 		}
 	}
 	st.DPPruned += pruned
+	st.ExactDPNs += exactNs
+	st.BitDPNs += time.Since(scanStart).Nanoseconds() - exactNs
 
 	// Sparse reset: only touched entries are nonzero, so the accumulator
 	// stays all-zero between probes without an O(T) clear; the per-bucket

@@ -98,6 +98,29 @@ func checkIndex(t *testing.T, label string, d *Detector) {
 		}
 	}
 
+	// The rare-token bitmap must equal a from-scratch recomputation: each
+	// live token's bucket set is the OR of its carrying templates' buckets,
+	// and saturated or unindexed tokens carry the empty set (saturated
+	// tokens are handled by the credit path, not the bitmap).
+	if len(st.bsets) != len(st.heads) {
+		t.Fatalf("%s: %d bitmap entries for %d heads", label, len(st.bsets), len(st.heads))
+	}
+	for tok := range st.heads {
+		var want uint32
+		for _, p := range wantPost[tok] {
+			want |= 1 << uint(d.index.meta[p.template].bucket)
+		}
+		if st.bsets[tok] != want {
+			t.Fatalf("%s: token %d bucket bitmap %#x, rebuild says %#x",
+				label, tok, st.bsets[tok], want)
+		}
+		live := st.heads[tok] != noHead && st.heads[tok] != satHead
+		if (st.bsets[tok] != 0) != live {
+			t.Fatalf("%s: token %d bitmap %#x inconsistent with head %d",
+				label, tok, st.bsets[tok], st.heads[tok])
+		}
+	}
+
 	for b := range d.index.buckets {
 		bi := &d.index.buckets[b]
 		if !reflect.DeepEqual(bi.members, wantMembers[b]) {

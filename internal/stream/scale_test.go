@@ -73,6 +73,23 @@ func TestStreamScaleSmoke(t *testing.T) {
 	if st.BitDPRuns == 0 {
 		t.Fatal("bit-parallel refinement never ran")
 	}
+	// Banded-DP and bitmap-skip accounting: every banded alignment is one
+	// of the DP runs, exact-distance-seeded bands never widen, and the
+	// bitmap skips plus postings walks partition the probes exactly.
+	if st.BandRuns > st.DPRuns {
+		t.Fatalf("band runs %d > DP runs %d", st.BandRuns, st.DPRuns)
+	}
+	if st.BandRetries != 0 {
+		t.Fatalf("%d band retries on exact-seeded bands", st.BandRetries)
+	}
+	if st.BitmapSkips+st.PostingsWalks != st.Probes {
+		t.Fatalf("bitmap skips %d + walks %d != probes %d",
+			st.BitmapSkips, st.PostingsWalks, st.Probes)
+	}
+	if st.WalkNs < 0 || st.BoundNs < 0 || st.BitDPNs < 0 || st.ExactDPNs < 0 {
+		t.Fatalf("negative stage timing: walk %d bound %d bitdp %d exactdp %d",
+			st.WalkNs, st.BoundNs, st.BitDPNs, st.ExactDPNs)
+	}
 }
 
 // TestScaleRaceShort is the trimmed scale exercise `make race-short`

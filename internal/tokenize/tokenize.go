@@ -16,6 +16,7 @@ package tokenize
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 
 	"infoshield/internal/par"
 )
@@ -31,6 +32,99 @@ type Tokenizer struct {
 // Tokens splits text into tokens according to the rules documented on the
 // package. It never returns empty-string tokens.
 func (t Tokenizer) Tokens(text string) []string {
+	if isASCII(text) {
+		return t.tokensASCII(text)
+	}
+	return t.tokensUnicode(text)
+}
+
+// isASCII reports whether s contains only single-byte runes.
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf {
+			return false
+		}
+	}
+	return true
+}
+
+// asciiSpace and asciiWord are unicode.IsSpace and isWordRune restricted
+// to ASCII — byte-indexed so the fast path never decodes a rune.
+var asciiSpace, asciiWord [utf8.RuneSelf]bool
+
+func init() {
+	for _, b := range []byte{'\t', '\n', '\v', '\f', '\r', ' '} {
+		asciiSpace[b] = true
+	}
+	for b := byte(0); b < utf8.RuneSelf; b++ {
+		asciiWord[b] = b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9'
+	}
+}
+
+// tokensASCII is the allocation-light fast path for pure-ASCII input —
+// the overwhelmingly common case on the serving hot path. No ASCII rune
+// is CJK, ASCII lower-casing is a byte table, and trimming surrounding
+// punctuation keeps tokens as substrings of one backing string, so the
+// whole document tokenizes with at most one lower-casing copy plus the
+// output slice. FuzzTokensASCII pins it against the Unicode path.
+func (t Tokenizer) tokensASCII(text string) []string {
+	if !t.KeepCase {
+		text = lowerASCII(text)
+	}
+	// One sized allocation instead of append-doubling: tokens are
+	// space-separated, so len/8 under-counts only pathologically short
+	// words and the occasional growth is still amortized.
+	out := make([]string, 0, len(text)/8+4)
+	n := len(text)
+	for i := 0; i < n; {
+		if asciiSpace[text[i]] {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < n && !asciiSpace[text[j]] {
+			j++
+		}
+		lo, hi := i, j
+		for lo < hi && !asciiWord[text[lo]] {
+			lo++
+		}
+		for hi > lo && !asciiWord[text[hi-1]] {
+			hi--
+		}
+		if lo < hi {
+			out = append(out, text[lo:hi])
+		}
+		i = j
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// lowerASCII lower-cases an ASCII string, returning the input unchanged
+// (no copy) when it is already lower-case.
+func lowerASCII(s string) string {
+	i := 0
+	for i < len(s) && !(s[i] >= 'A' && s[i] <= 'Z') {
+		i++
+	}
+	if i == len(s) {
+		return s
+	}
+	b := []byte(s)
+	for ; i < len(b); i++ {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// tokensUnicode is the general rune-by-rune path (and the reference the
+// ASCII fast path is fuzzed against).
+func (t Tokenizer) tokensUnicode(text string) []string {
 	if !t.KeepCase {
 		text = strings.ToLower(text)
 	}

@@ -96,6 +96,26 @@ type StreamStats struct {
 	// BitDPPruned counts candidates the exact-distance refinement
 	// rejected after the overlap bound had passed them.
 	BitDPPruned int
+	// BandRuns counts exact alignments routed through the banded DP
+	// (band seeded by the bit-parallel distance); BandRetries counts band
+	// widenings — zero in healthy operation, since the seed is exact.
+	BandRuns    int
+	BandRetries int
+	// BitmapSkips counts probes the token → bucket-set bitmap resolved
+	// without touching a postings chunk; PostingsWalks counts probes that
+	// walked at least one chain. Together they partition the probes the
+	// pruning index served.
+	BitmapSkips   int
+	PostingsWalks int
+	// WalkNs / BoundNs / BitDPNs / ExactDPNs attribute the matcher's
+	// wall-clock to its stages: postings walk + candidate assembly, the
+	// batched bound loop, bit-parallel distance refinement, and exact
+	// alignment. Unlike the counters above these are timings, not pure
+	// per-document functions.
+	WalkNs    int64
+	BoundNs   int64
+	BitDPNs   int64
+	ExactDPNs int64
 	// CandHist is the log2 histogram of per-probe examined-candidate
 	// counts: bucket k counts probes whose surviving set had
 	// ⌈lg(n+1)⌉ = k candidates.
@@ -106,14 +126,22 @@ type StreamStats struct {
 func (s *StreamDetector) Stats() StreamStats {
 	st := s.d.Stats()
 	return StreamStats{
-		Probes:      st.Probes,
-		Candidates:  st.Candidates,
-		Examined:    st.Examined,
-		DPRuns:      st.DPRuns,
-		DPPruned:    st.DPPruned,
-		BitDPRuns:   st.BitDPRuns,
-		BitDPPruned: st.BitDPPruned,
-		CandHist:    st.CandHist,
+		Probes:        st.Probes,
+		Candidates:    st.Candidates,
+		Examined:      st.Examined,
+		DPRuns:        st.DPRuns,
+		DPPruned:      st.DPPruned,
+		BitDPRuns:     st.BitDPRuns,
+		BitDPPruned:   st.BitDPPruned,
+		BandRuns:      st.BandRuns,
+		BandRetries:   st.BandRetries,
+		BitmapSkips:   st.BitmapSkips,
+		PostingsWalks: st.PostingsWalks,
+		WalkNs:        st.WalkNs,
+		BoundNs:       st.BoundNs,
+		BitDPNs:       st.BitDPNs,
+		ExactDPNs:     st.ExactDPNs,
+		CandHist:      st.CandHist,
 	}
 }
 
