@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test build vet vet-fast race race-short fuzz fuzz-stream fuzz-serve bench bench-coarse bench-json bench-scale bench-shard bench-all profile-scale experiments
+.PHONY: check test build vet vet-fast race race-short fuzz fuzz-stream fuzz-serve bench bench-coarse bench-json bench-scale bench-shard bench-lifecycle bench-all profile-scale experiments
 
 ## check: the full gate — vet (go vet + infoshield-vet), build, and
 ## race-enabled tests.
@@ -117,6 +117,18 @@ profile-scale:
 bench-shard:
 	$(GO) test -bench='ServeSharded' -benchmem -count=$(BENCH_COUNT) -run '^$$' -timeout 30m ./internal/serve > BENCH_shard.txt
 	$(GO) run ./cmd/benchjson -o BENCH_shard.json < BENCH_shard.txt
+
+## bench-lifecycle: steady-state continuous mining on an unbounded
+## drifting-campaign stream (BenchmarkStreamLifecycleFlush) with the
+## template cap, TTL, MDL merge, and incremental miner on — flush p50/p99
+## latency (promoted to first-class JSON fields), bytes/op as the RSS
+## proxy, the steady-state live-template count, and the incremental
+## variant against the from-scratch re-clustering baseline — archived as
+## BENCH_lifecycle.{txt,json}. CI runs this with BENCH_COUNT=1 and
+## uploads both as artifacts.
+bench-lifecycle:
+	$(GO) test -bench='StreamLifecycleFlush' -benchmem -count=$(BENCH_COUNT) -run '^$$' -timeout 30m ./internal/stream > BENCH_lifecycle.txt
+	$(GO) run ./cmd/benchjson -o BENCH_lifecycle.json < BENCH_lifecycle.txt
 
 bench-all:
 	$(GO) test -bench=. -benchmem -run '^$$'

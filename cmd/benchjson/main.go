@@ -36,6 +36,11 @@ type result struct {
 	// strings.
 	CandPerProbe float64 `json:"cand_per_probe,omitempty"`
 	DPSkipRate   float64 `json:"dp_skip_rate,omitempty"`
+	// FlushP50Ns and FlushP99Ns are the lifecycle benchmark's flush-
+	// latency distribution (mining-pass wall-clock per flush at steady
+	// state), promoted for the same reason.
+	FlushP50Ns float64 `json:"flush_p50_ns,omitempty"`
+	FlushP99Ns float64 `json:"flush_p99_ns,omitempty"`
 	// Extra holds any benchmark metric beyond those above
 	// (e.g. MB/s from SetBytes, or custom ReportMetric units).
 	Extra map[string]float64 `json:"extra,omitempty"`
@@ -137,6 +142,10 @@ func parseResult(line string) (result, bool) {
 			res.CandPerProbe = v
 		case "dpskip/candidate":
 			res.DPSkipRate = v
+		case "flush-p50-ns":
+			res.FlushP50Ns = v
+		case "flush-p99-ns":
+			res.FlushP99Ns = v
 		default:
 			if res.Extra == nil {
 				res.Extra = map[string]float64{}

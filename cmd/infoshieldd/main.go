@@ -61,6 +61,10 @@ func run(args []string, stdout, stderr *os.File) int {
 	maxBatch := fs.Int("max-batch", 0, "documents that flush a coalesced ingest batch (0 = default 256)")
 	maxWait := fs.Duration("max-wait", 0, "latency budget for growing an ingest batch (0 = commit as soon as the queue drains)")
 	queueDepth := fs.Int("queue-depth", 0, "per-shard ingest queue depth in requests (0 = default 1024)")
+	maxTemplates := fs.Int("max-templates", 0, "per-shard live-template cap; the least-recently-matched templates are evicted past it (0 = unbounded)")
+	templateTTL := fs.Int("template-ttl", 0, "retire a template after this many ingested documents without a match (0 = never)")
+	mergeTemplates := fs.Bool("merge-templates", false, "fold freshly mined templates into existing near-duplicates when the MDL cost favors one template")
+	incrementalMine := fs.Bool("incremental-mine", false, "carry document-frequency counts and recent unmatched documents across flushes so each mining pass clusters only new and touched documents")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -84,6 +88,12 @@ func run(args []string, stdout, stderr *os.File) int {
 			det := stream.New(core.Options{Workers: *workers})
 			if *mineBatch > 0 {
 				det.BatchSize = *mineBatch
+			}
+			det.Lifecycle = stream.Lifecycle{
+				MaxTemplates: *maxTemplates,
+				TTL:          *templateTTL,
+				Merge:        *mergeTemplates,
+				Incremental:  *incrementalMine,
 			}
 			return det
 		},

@@ -145,9 +145,18 @@ func (r *Result) Suspicious() []bool {
 // first-seen assignment. Phrase extraction and scoring parallelize inside
 // coarseEncoded; cluster refinement parallelizes per coarse cluster.
 func Run(texts []string, opt Options) *Result {
-	start := time.Now()
 	var tk tokenize.Tokenizer
-	words := tk.All(texts, opt.workers())
+	return RunTokens(texts, tk.All(texts, opt.workers()), opt)
+}
+
+// RunTokens is Run over pre-tokenized documents: words[i] must be the
+// package tokenizer's stream for texts[i]. Callers that already hold the
+// token streams — the streaming detector buffers the tokens it encoded
+// at ingest time — skip the tokenization stage entirely; because the
+// tokenizer is a pure function of the text, the results are
+// byte-identical to Run.
+func RunTokens(texts []string, words [][]string, opt Options) *Result {
+	start := time.Now()
 	vocab := tokenize.NewVocab()
 	tokens := make([][]int, len(texts))
 	for i, w := range words {

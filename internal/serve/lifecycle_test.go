@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"infoshield/internal/core"
+	"infoshield/internal/datagen"
+	"infoshield/internal/stream"
+)
+
+// lifecycleDetector builds shard detectors with the full lifecycle
+// enabled: a small cap and TTL so a drifting corpus actually retires
+// templates, merge, and incremental mining with its cross-flush window.
+func lifecycleDetector(mineBatch int) func() *stream.Detector {
+	return func() *stream.Detector {
+		det := stream.New(core.Options{})
+		det.BatchSize = mineBatch
+		det.Lifecycle = stream.Lifecycle{
+			MaxTemplates: 6,
+			TTL:          400,
+			Merge:        true,
+			Incremental:  true,
+		}
+		return det
+	}
+}
+
+// TestShardedLifecycleWALReplay: every lifecycle decision is a pure
+// function of each shard's ingest sequence, so crash replay — state file
+// plus write-ahead log, with evictions, age-outs, merges, and the
+// incremental miner's retained window in play — must reproduce the
+// pre-crash assignments and the post-lifecycle template listing exactly.
+func TestShardedLifecycleWALReplay(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		S        int
+		snapshot bool
+	}{
+		{"S1-no-snapshot", 1, false},
+		{"S2-mid-stream-snapshot", 2, true},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := ShardedConfig{
+				Shards: tc.S, WALDir: dir, WALNoSync: true,
+				StatePath:   filepath.Join(dir, "state.json"),
+				NewDetector: lifecycleDetector(16),
+			}
+			sh, err := NewSharded(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			drift := datagen.NewDriftStream(datagen.DriftConfig{Seed: 31, Active: 5, ChurnEvery: 48})
+			docs := drift.Docs(0, 420)
+			var ids []int
+			hwm := make([]int, tc.S)
+			for i, text := range docs {
+				if i == 140 {
+					if err := sh.Flush(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if tc.snapshot && i == 280 {
+					if _, err := sh.Snapshot(cfg.StatePath); err != nil {
+						t.Fatal(err)
+					}
+					for _, id := range ids {
+						if id/tc.S+1 > hwm[id%tc.S] {
+							hwm[id%tc.S] = id/tc.S + 1
+						}
+					}
+				}
+				vs, err := sh.Submit([]string{text})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ids = append(ids, vs[0].ID)
+			}
+
+			st, err := sh.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			lcTotal := st.Total.Lifecycle
+			if lcTotal.Evicted+lcTotal.AgedOut+lcTotal.Merged == 0 {
+				t.Fatal("no lifecycle retirements — the replay would prove nothing")
+			}
+			if lcTotal.Live > 6*tc.S {
+				t.Fatalf("live %d exceeds cap %d", lcTotal.Live, 6*tc.S)
+			}
+			if st.Total.Templates != lcTotal.Live {
+				t.Fatalf("rolled-up Templates %d != rolled-up live %d", st.Total.Templates, lcTotal.Live)
+			}
+
+			want := map[int]Verdict{}
+			for _, id := range ids {
+				v, err := sh.Assignment(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[id] = v
+			}
+			wantTmpls, err := sh.Templates()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tm := range wantTmpls {
+				if tm.Pattern == "" {
+					t.Fatalf("retired template leaked into the listing: %+v", tm)
+				}
+			}
+			// Crash: no drain, no final snapshot.
+			if err := sh.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			sh2, err := NewSharded(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				if err := sh2.Close(); err != nil {
+					t.Error(err)
+				}
+			}()
+			for _, id := range ids {
+				if tc.snapshot && id/tc.S < hwm[id%tc.S] {
+					continue // below the snapshot mark: state-only, map not kept
+				}
+				v, err := sh2.Assignment(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v != want[id] {
+					t.Fatalf("doc %d after replay: %+v, pre-crash %+v", id, v, want[id])
+				}
+			}
+			gotTmpls, err := sh2.Templates()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotTmpls, wantTmpls) {
+				t.Fatalf("templates after replay differ:\n%+v\n%+v", gotTmpls, wantTmpls)
+			}
+			st2, err := sh2.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			lc2 := st2.Total.Lifecycle
+			if lc2.Live != lcTotal.Live {
+				t.Fatalf("live after replay %d, pre-crash %d", lc2.Live, lcTotal.Live)
+			}
+		})
+	}
+}

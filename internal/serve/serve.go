@@ -196,13 +196,42 @@ type MatcherStats struct {
 	CandPerProbeHist []int `json:"cand_per_probe_hist_log2"`
 }
 
+// LifecycleStats reports template mining and lifecycle activity: how
+// many templates each mechanism retired, how many are live, and how much
+// re-clustering the incremental miner avoided. With the lifecycle
+// disabled everything except Live / Mined / Flushes / FlushDocs is zero.
+type LifecycleStats struct {
+	// Live is the live template count (Stats.Templates minus lifecycle
+	// tombstones).
+	Live int `json:"live"`
+	// Mined counts templates accepted by mining passes; Merged / Evicted
+	// / AgedOut count retirements by cause.
+	Mined   int `json:"mined"`
+	Merged  int `json:"merged"`
+	Evicted int `json:"evicted"`
+	AgedOut int `json:"aged_out"`
+	// Flushes counts mining passes, FlushDocs the documents they
+	// consumed.
+	Flushes   int `json:"flushes"`
+	FlushDocs int `json:"flush_docs"`
+	// MineReused / MineClustered count documents the incremental miner
+	// re-clustered from its retained window vs all documents it handed
+	// to clustering; ReuseRate is their ratio (0 before any incremental
+	// flush).
+	MineReused    int     `json:"mine_reused"`
+	MineClustered int     `json:"mine_clustered"`
+	ReuseRate     float64 `json:"reuse_rate"`
+}
+
 // Stats is the full serving snapshot: detector state plus coalescer
-// counters, taken atomically between batches.
+// counters, taken atomically between batches. Templates counts live
+// templates (lifecycle tombstones excluded).
 type Stats struct {
-	Templates   int          `json:"templates"`
-	PendingDocs int          `json:"pending_docs"`
-	Matcher     MatcherStats `json:"matcher"`
-	Serve       Counters     `json:"serve"`
+	Templates   int            `json:"templates"`
+	PendingDocs int            `json:"pending_docs"`
+	Matcher     MatcherStats   `json:"matcher"`
+	Lifecycle   LifecycleStats `json:"lifecycle"`
+	Serve       Counters       `json:"serve"`
 }
 
 // Coalescer is the group-commit ingest front end over one detector.
@@ -310,7 +339,10 @@ func (c *Coalescer) Assignment(id int) (stream.Assignment, error) {
 	return a, err
 }
 
-// Templates returns the mined templates rendered for reporting.
+// Templates returns the mined templates rendered for reporting. The
+// slice is indexed by template id and includes retired slots (Dead set)
+// so positions stay stable across evictions and merges; listings that
+// only want live templates filter on Dead.
 func (c *Coalescer) Templates() ([]stream.TemplateInfo, error) {
 	var out []stream.TemplateInfo
 	err := c.do(func(d *stream.Detector) {
@@ -348,10 +380,25 @@ func (c *Coalescer) Stats() (Stats, error) {
 		if ds.Candidates > 0 {
 			m.DPSkipRate = float64(ds.DPPruned) / float64(ds.Candidates)
 		}
+		lc := LifecycleStats{
+			Live:          d.NumLive(),
+			Mined:         ds.TemplatesMined,
+			Merged:        ds.TemplatesMerged,
+			Evicted:       ds.TemplatesEvicted,
+			AgedOut:       ds.TemplatesAged,
+			Flushes:       ds.Flushes,
+			FlushDocs:     ds.FlushDocs,
+			MineReused:    ds.MineReusedDocs,
+			MineClustered: ds.MineClusteredDocs,
+		}
+		if ds.MineClusteredDocs > 0 {
+			lc.ReuseRate = float64(ds.MineReusedDocs) / float64(ds.MineClusteredDocs)
+		}
 		st = Stats{
-			Templates:   d.NumTemplates(),
+			Templates:   d.NumLive(),
 			PendingDocs: d.Pending(),
 			Matcher:     m,
+			Lifecycle:   lc,
 			Serve:       c.ctr,
 		}
 		st.Serve.QueueHighWater = int(c.queueHW.Load())
@@ -359,8 +406,9 @@ func (c *Coalescer) Stats() (Stats, error) {
 	return st, err
 }
 
-// Snapshot serializes the mined templates to w (the pending buffer is
-// not persisted — Flush first if buffered documents matter).
+// Snapshot serializes the detector state to w — mined templates,
+// lifecycle markers, and the pending buffer (texts and ids), so a plain
+// snapshot no longer loses buffered documents.
 func (c *Coalescer) Snapshot(w io.Writer) error {
 	var saveErr error
 	if err := c.do(func(d *stream.Detector) { saveErr = d.Save(w) }); err != nil {

@@ -312,6 +312,11 @@ func (s *Sharded) Templates() ([]ShardTemplate, error) {
 			return nil, err
 		}
 		for i, ti := range infos {
+			if ti.Dead {
+				// Retired slot (evicted, aged out, or merged away): keep the
+				// position — global ids are positional — but drop the listing.
+				continue
+			}
 			out = append(out, ShardTemplate{
 				ID: i*s.n + k, Shard: k, Index: i,
 				Pattern: ti.Pattern, Slots: ti.Slots, DocCount: ti.DocCount,
@@ -394,6 +399,9 @@ func (s *Sharded) Stats() (ShardedStats, error) {
 	if out.Total.Serve.Batches > 0 {
 		out.DocsPerBatch = float64(out.Total.Serve.Docs) / float64(out.Total.Serve.Batches)
 	}
+	if lc := &out.Total.Lifecycle; lc.MineClustered > 0 {
+		lc.ReuseRate = float64(lc.MineReused) / float64(lc.MineClustered)
+	}
 	return out, nil
 }
 
@@ -424,6 +432,16 @@ func rollup(t *Stats, st Stats) {
 	for i, c := range sm.CandPerProbeHist {
 		m.CandPerProbeHist[i] += c
 	}
+	l, sl := &t.Lifecycle, st.Lifecycle
+	l.Live += sl.Live
+	l.Mined += sl.Mined
+	l.Merged += sl.Merged
+	l.Evicted += sl.Evicted
+	l.AgedOut += sl.AgedOut
+	l.Flushes += sl.Flushes
+	l.FlushDocs += sl.FlushDocs
+	l.MineReused += sl.MineReused
+	l.MineClustered += sl.MineClustered
 	v, sv := &t.Serve, st.Serve
 	v.Docs += sv.Docs
 	v.Batches += sv.Batches
@@ -481,20 +499,23 @@ func readManifest(path string, wantShards int, wantRoute string) (*manifestV2, e
 	var probe struct {
 		Version   int             `json:"version"`
 		Templates json.RawMessage `json:"templates"`
+		NextID    int             `json:"next_id"`
 	}
 	if err := json.Unmarshal(b, &probe); err != nil {
 		return nil, fmt.Errorf("serve: decode state %s: %w", path, err)
 	}
 	if probe.Templates != nil {
-		// Legacy single-detector state (stream stateV1): the whole file is
-		// shard 0's state, with no high-water mark recorded.
+		// Single-detector state (stream stateV1 or stateV2): the whole
+		// file is shard 0's state. The v2 format carries its own
+		// high-water mark (v1 recorded none, so next_id decodes as 0);
+		// echoing it keeps SetNextID a no-op rebase after Load.
 		if wantShards != 1 {
 			return nil, fmt.Errorf(
 				"serve: %s is a single-detector state; it loads only with 1 shard, not %d",
 				path, wantShards)
 		}
 		return &manifestV2{Version: 2, Shards: 1, Route: wantRoute,
-			HWM: []int{0}, States: []json.RawMessage{b}}, nil
+			HWM: []int{probe.NextID}, States: []json.RawMessage{b}}, nil
 	}
 	if err := json.Unmarshal(b, &man); err != nil {
 		return nil, fmt.Errorf("serve: decode manifest %s: %w", path, err)

@@ -108,6 +108,15 @@ func compareDetectors(t *testing.T, label string, a, b *Detector) {
 	if !reflect.DeepEqual(a.pendingSet, b.pendingSet) {
 		t.Fatalf("%s: pending sets differ", label)
 	}
+	// Lifecycle bookkeeping is maintained unconditionally (the recency
+	// clock is a pure per-document function), so it must agree too.
+	if a.liveCount != b.liveCount || a.anyDead != b.anyDead {
+		t.Fatalf("%s: live %d/%v vs %d/%v", label, a.liveCount, a.anyDead, b.liveCount, b.anyDead)
+	}
+	if !reflect.DeepEqual(a.dead, b.dead) || !reflect.DeepEqual(a.forward, b.forward) ||
+		!reflect.DeepEqual(a.lastMatch, b.lastMatch) {
+		t.Fatalf("%s: lifecycle state differs", label)
+	}
 }
 
 // TestStreamPruningEquivalence drives the tiered serving path — bucket
@@ -144,7 +153,7 @@ func TestStreamPruningEquivalence(t *testing.T) {
 				t.Fatalf("seed %d doc %d: indexed verdict %d != reference %d (templates=%d)",
 					seed, i, verdict, ref, pruned.NumTemplates())
 			}
-			pruned.apply(text, verdict)
+			pruned.apply(text, toks, verdict)
 			full.Add(text)
 			if i == len(docs)/3 || i == 2*len(docs)/3 {
 				pruned.Flush()
@@ -293,7 +302,8 @@ func FuzzStreamOps(f *testing.F) {
 		b.BatchSize = 4
 
 		roundTrip := func(d *Detector) *Detector {
-			d.Flush() // Save persists templates only; drain the buffer first
+			// No flush: Save carries the pending buffer (texts + ids), so
+			// the fuzzer exercises mid-buffer snapshots.
 			var buf bytes.Buffer
 			if err := d.Save(&buf); err != nil {
 				t.Fatal(err)

@@ -89,9 +89,13 @@ type tmplMeta struct {
 
 // bucketInfo aggregates one tier-0 bucket: the member list (ascending —
 // registration appends in template order) and the extrema that make the
-// bucket-level bound admissible for every member.
+// bucket-level bound admissible for every member. live counts members
+// that are not lifecycle tombstones; the extrema are not tightened when a
+// member dies (they still dominate every live member, so the bound stays
+// admissible — merely looser until rebuildIndex compacts the bucket).
 type bucketInfo struct {
 	members []int32
+	live    int
 	cmax    int // max constant-token count
 	rmin    int // min reference length (constants + slots)
 	smin    int // min slot count
@@ -269,7 +273,16 @@ func (ix *tmplIndex) add(ti int, tokens []int, wild []bool, slots int) {
 		}
 	}
 	bi.members = append(bi.members, int32(ti))
+	bi.live++
 	ix.meta = append(ix.meta, mt)
+}
+
+// addDead appends a tombstone slot to the meta table so template indices
+// stay aligned when rebuildIndex re-registers a template set that holds
+// retired templates: the slot joins no bucket and no postings chain, so
+// probes can never surface it.
+func (ix *tmplIndex) addDead() {
+	ix.meta = append(ix.meta, tmplMeta{bucket: -1})
 }
 
 // Stats counts the serving path's matching work since the detector was
@@ -323,6 +336,28 @@ type Stats struct {
 	BoundNs   int64
 	BitDPNs   int64
 	ExactDPNs int64
+	// Flushes counts mining passes; FlushDocs the pending documents they
+	// consumed (Σ per-flush buffer size).
+	Flushes   int
+	FlushDocs int
+	// TemplatesMined counts templates accepted by mining passes;
+	// TemplatesMerged / TemplatesEvicted / TemplatesAged count lifecycle
+	// retirements by cause (MDL merge, cap eviction, TTL age-out). Live
+	// templates = TemplatesMined + registrations − the three retirement
+	// counters.
+	TemplatesMined   int
+	TemplatesMerged  int
+	TemplatesEvicted int
+	TemplatesAged    int
+	// MineReusedDocs counts retained documents the incremental miner
+	// re-clustered from its cross-flush window without re-extracting
+	// their phrases; MineClusteredDocs counts all documents handed to the
+	// clustering stage across incremental flushes (reused + new). Their
+	// ratio is the incremental-coarse reuse rate; the from-scratch
+	// baseline would have re-clustered every retained document every
+	// flush.
+	MineReusedDocs    int
+	MineClusteredDocs int
 	// CandHist is the log2 histogram of per-probe Examined sizes: bucket
 	// k counts probes with ⌈lg(n+1)⌉ = k surviving candidates. A drift
 	// toward high buckets says index pruning is degrading before mean
@@ -346,6 +381,14 @@ func (s *Stats) add(o Stats) {
 	s.BoundNs += o.BoundNs
 	s.BitDPNs += o.BitDPNs
 	s.ExactDPNs += o.ExactDPNs
+	s.Flushes += o.Flushes
+	s.FlushDocs += o.FlushDocs
+	s.TemplatesMined += o.TemplatesMined
+	s.TemplatesMerged += o.TemplatesMerged
+	s.TemplatesEvicted += o.TemplatesEvicted
+	s.TemplatesAged += o.TemplatesAged
+	s.MineReusedDocs += o.MineReusedDocs
+	s.MineClusteredDocs += o.MineClusteredDocs
 	for i := range s.CandHist {
 		s.CandHist[i] += o.CandHist[i]
 	}
@@ -438,10 +481,21 @@ func (d *Detector) bucketBound(bounder align.WildBounder, bi *bucketInfo, docLen
 // (cost, index) test on takeover. All comparisons are < / <=: no float
 // equality is ever tested.
 func (d *Detector) match(toks []int, vocabSize int, sc *matchScratch, st *Stats) int {
-	if len(toks) == 0 || len(d.templates) == 0 {
+	if len(toks) == 0 || d.liveCount == 0 {
 		return -1
 	}
-	numT := len(d.templates)
+	// numT is the MDL template count (the lg t term of the matched cost):
+	// lifecycle tombstones are out of the model, so only live templates
+	// count. total sizes the index-keyed accumulators — template indices
+	// still span every slot ever registered. dead is nil until the first
+	// retirement, so the hot loops pay one nil test while the lifecycle
+	// is off (or idle), not a per-posting bool load.
+	numT := d.liveCount
+	total := len(d.templates)
+	dead := d.dead
+	if !d.anyDead {
+		dead = nil
+	}
 	m := len(toks)
 	st.Probes++
 	st.Candidates += numT
@@ -461,8 +515,12 @@ func (d *Detector) match(toks []int, vocabSize int, sc *matchScratch, st *Stats)
 
 	if d.noPrune {
 		// Reference path: the full ascending scan with the DP forced on
-		// every template — the oracle the pruning-equivalence gate drives.
-		for ti := 0; ti < numT; ti++ {
+		// every live template — the oracle the pruning-equivalence gate
+		// drives.
+		for ti := 0; ti < total; ti++ {
+			if dead != nil && dead[ti] {
+				continue
+			}
 			st.DPRuns++
 			if cost := exactCost(ti); cost < bestCost {
 				best, bestCost = ti, cost
@@ -486,7 +544,7 @@ func (d *Detector) match(toks []int, vocabSize int, sc *matchScratch, st *Stats)
 	var liveMask uint32
 	for b := range ix.buckets {
 		bi := &ix.buckets[b]
-		if len(bi.members) == 0 {
+		if bi.live == 0 {
 			sc.skip[b] = true
 			continue
 		}
@@ -496,7 +554,7 @@ func (d *Detector) match(toks []int, vocabSize int, sc *matchScratch, st *Stats)
 		}
 		if d.bucketBound(bounder, bi, m, ovMax) >= standalone {
 			sc.skip[b] = true
-			pruned += len(bi.members)
+			pruned += bi.live
 		} else {
 			sc.skip[b] = false
 			liveMask |= 1 << uint(b)
@@ -512,10 +570,10 @@ func (d *Detector) match(toks []int, vocabSize int, sc *matchScratch, st *Stats)
 	// wouldn't skip, so rare-market probes whose tokens only index dead
 	// buckets (and noise probes, whose tokens index nothing) never touch
 	// a postings chunk at all.
-	if cap(sc.overlap) < numT {
-		sc.overlap = make([]int, numT)
+	if cap(sc.overlap) < total {
+		sc.overlap = make([]int, total)
 	}
-	overlap := sc.overlap[:numT]
+	overlap := sc.overlap[:total]
 	sorted := append(sc.sorted[:0], toks...)
 	align.SortInts(sorted)
 	sc.sorted = sorted
@@ -550,6 +608,9 @@ func (d *Detector) match(toks []int, vocabSize int, sc *matchScratch, st *Stats)
 			}
 			for k := 0; k < int(ch.n); k++ {
 				x := int(ch.tmpl[k])
+				if dead != nil && dead[x] {
+					continue
+				}
 				if overlap[x] == 0 {
 					touched = append(touched, x)
 					sc.bucketHit[ch.bucket]++
@@ -589,7 +650,7 @@ func (d *Detector) match(toks []int, vocabSize int, sc *matchScratch, st *Stats)
 			continue
 		}
 		bi := &ix.buckets[b]
-		unt := len(bi.members) - sc.bucketHit[b]
+		unt := bi.live - sc.bucketHit[b]
 		if unt == 0 {
 			continue
 		}
@@ -605,6 +666,9 @@ func (d *Detector) match(toks []int, vocabSize int, sc *matchScratch, st *Stats)
 			continue
 		}
 		for _, x32 := range bi.members {
+			if dead != nil && dead[x32] {
+				continue
+			}
 			if overlap[x32] == 0 {
 				cands = append(cands, m<<32|int(x32))
 			}

@@ -17,9 +17,18 @@ type refPosting struct{ template, count int }
 // expectedIndex recomputes, independently of the index code, everything a
 // probe reads: token → postings (template ascending, as registration
 // appends), the saturated-token set, and the per-bucket membership.
-func expectedIndex(templates []Template) (post map[int][]refPosting, sat map[int]bool, members [numBuckets][]int32) {
+// Templates whose meta bucket is -1 never entered the current index
+// build (tombstones compacted away by rebuildIndex, or dead slots
+// restored by Load) and are excluded; tombstones killed since the last
+// rebuild still hold postings and membership, exactly as the live index
+// does.
+func expectedIndex(d *Detector) (post map[int][]refPosting, sat map[int]bool, members [numBuckets][]int32) {
+	templates := d.templates
 	post = make(map[int][]refPosting)
 	for ti := range templates {
+		if d.index.meta[ti].bucket < 0 {
+			continue
+		}
 		t := &templates[ti]
 		counts := make(map[int]int)
 		order := make([]int, 0, len(t.Tokens))
@@ -57,7 +66,7 @@ func expectedIndex(templates []Template) (post map[int][]refPosting, sat map[int
 // from-scratch recomputation.
 func checkIndex(t *testing.T, label string, d *Detector) {
 	t.Helper()
-	wantPost, wantSat, wantMembers := expectedIndex(d.templates)
+	wantPost, wantSat, wantMembers := expectedIndex(d)
 
 	got := make(map[int][]refPosting)
 	st := &d.index.store
@@ -126,6 +135,15 @@ func checkIndex(t *testing.T, label string, d *Detector) {
 		if !reflect.DeepEqual(bi.members, wantMembers[b]) {
 			t.Fatalf("%s: bucket %d members %v, want %v", label, b, bi.members, wantMembers[b])
 		}
+		wantLive := 0
+		for _, x := range bi.members {
+			if !d.isDead(int(x)) {
+				wantLive++
+			}
+		}
+		if bi.live != wantLive {
+			t.Fatalf("%s: bucket %d live %d, want %d", label, b, bi.live, wantLive)
+		}
 		if len(bi.members) == 0 {
 			continue
 		}
@@ -157,6 +175,13 @@ func checkIndex(t *testing.T, label string, d *Detector) {
 	for ti := range d.templates {
 		tm := &d.templates[ti]
 		mt := &d.index.meta[ti]
+		if mt.bucket < 0 {
+			// Compacted or restored tombstone: the payload must be gone too.
+			if len(tm.Tokens) != 0 || !d.isDead(ti) {
+				t.Fatalf("%s: template %d has bucket -1 but payload/live state", label, ti)
+			}
+			continue
+		}
 		slots := 0
 		for _, w := range tm.Wild {
 			if w {
@@ -228,10 +253,12 @@ func TestPersistRoundTripVerdicts(t *testing.T) {
 		t.Fatal("save → load → save is not a fixed point")
 	}
 
-	// Replay the pending buffer so both detectors hold the same state up
-	// to process-local ids, then require identical verdicts for a stream
-	// of new documents spanning all three outcomes.
-	d2.AddBatch(pendingTexts)
+	// The pending buffer (texts and ids) travels with the state — no
+	// replay needed. Require identical verdicts for a stream of new
+	// documents spanning all three outcomes.
+	if d1.Pending() != d2.Pending() {
+		t.Fatalf("pending after load: %d vs %d", d2.Pending(), d1.Pending())
+	}
 
 	probes := []string{
 		"limited offer buy the premium golden package today visit site8888.example now",

@@ -48,7 +48,7 @@ func TestStreamScaleSmoke(t *testing.T) {
 		if verdict >= 0 {
 			matched++
 		}
-		d.apply(text, verdict)
+		d.apply(text, toks, verdict)
 	}
 	if matched < 60 {
 		t.Fatalf("only %d/120 probes matched — generator and matcher out of tune", matched)

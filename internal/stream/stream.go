@@ -54,6 +54,49 @@ type Template struct {
 	SlotWords []int
 }
 
+// Lifecycle bounds the template set of a long-running detector so an
+// unbounded stream runs at bounded memory. The zero value disables every
+// mechanism, and a disabled lifecycle is gated byte-identical to the
+// pre-lifecycle detector (see TestLifecycleOffByteIdentical). All
+// decisions are clocked by document ids — pure functions of the ingest
+// sequence — so write-ahead-log replay reproduces them exactly.
+type Lifecycle struct {
+	// MaxTemplates caps the live template count; each mining pass evicts
+	// least-recently-matched templates (ties: lowest DocCount, then
+	// lowest index) down to the cap. 0 means unbounded.
+	MaxTemplates int
+	// TTL ages out a template once no document has matched it within the
+	// last TTL ingested documents, checked at each mining pass. 0 means
+	// templates never age out.
+	TTL int
+	// Merge enables MDL-gated merging: after each mining pass, every new
+	// template probes the tiered index with its own consensus sequence,
+	// and when an existing template encodes that sequence more cheaply
+	// than standalone, the pair merges — keeping whichever side encodes
+	// the other's consensus with the larger saving, exactly the
+	// description-length criterion the batch pipeline accepts templates
+	// with.
+	Merge bool
+	// Incremental switches Flush from the batch pipeline to the
+	// streaming-native miner: document frequencies and unmatched
+	// documents persist across flushes (see minestate.go), so a flush
+	// extracts phrases for the new batch only and re-clusters only the
+	// components those phrases touch. Costs are amortized per batch, and
+	// campaigns that trickle in across flush boundaries still assemble.
+	Incremental bool
+	// RetainFlushes bounds how many mining passes an unmatched document
+	// stays in the incremental miner's window (0 = default 8).
+	RetainFlushes int
+	// RetainDocs caps the incremental miner's retained-document window
+	// (0 = default 8×BatchSize).
+	RetainDocs int
+}
+
+// bounded reports whether any template-retiring mechanism is on.
+func (lc Lifecycle) bounded() bool {
+	return lc.MaxTemplates > 0 || lc.TTL > 0 || lc.Merge
+}
+
 // Detector accumulates documents and templates incrementally.
 type Detector struct {
 	// BatchSize is the buffer size that triggers a mining pass
@@ -62,11 +105,37 @@ type Detector struct {
 	// Options configures the mining passes and bounds AddBatch's matching
 	// worker pool (Options.Workers; any value produces identical output).
 	Options core.Options
+	// Lifecycle bounds the template set (age-out, MDL merge, hard cap)
+	// and enables incremental mining. Must be set before the first
+	// document and must match across Save/Load for deterministic replay.
+	Lifecycle Lifecycle
 
 	tk        tokenize.Tokenizer
 	vocab     *tokenize.Vocab
 	templates []Template
 	index     tmplIndex
+
+	// Lifecycle state, parallel to templates. Retired templates become
+	// tombstones — their index slot survives so template ids stay stable
+	// across merges and evictions — and forward redirects a merged
+	// template's assignments to its keeper (-1 for evicted/aged-out).
+	// lastMatch is the recency clock: the highest document id that
+	// matched the template (or its registration high-water mark).
+	// liveCount is len(templates) minus tombstones; anyDead short-
+	// circuits every tombstone test while no template has retired.
+	dead      []bool
+	forward   []int32
+	lastMatch []int
+	liveCount int
+	anyDead   bool
+	// tombSinceRebuild counts tombstones accumulated since the tiered
+	// index was last rebuilt; rebuildIndex compacts their postings away
+	// once they are a meaningful fraction of the live set.
+	tombSinceRebuild int
+
+	// mine is the incremental miner's cross-flush state (nil until the
+	// first incremental flush).
+	mine *mineState
 
 	// Template payloads are packed into arenas (contiguous blocks shared
 	// across templates) so the probe hot loop reads sequential memory;
@@ -77,10 +146,12 @@ type Detector struct {
 	ones  []int
 
 	pendingTexts []string
+	pendingToks  [][]int     // detector-vocab token ids, parallel to pendingTexts
 	pendingIDs   []int       // caller-visible doc ids of buffered docs
 	pendingSet   map[int]int // doc id -> position in pendingIDs (O(1) lookups)
 
 	nextID      int
+	ingested    bool // a document has been ingested through apply
 	assignments map[int]int // doc id -> template index
 
 	sc      matchScratch    // serial probe scratch (Add)
@@ -91,6 +162,14 @@ type Detector struct {
 	// same scan with the DP forced on every template (the reference path
 	// of the pruning-equivalence gate).
 	noPrune bool
+	// legacyFlush forces the pre-RunTokens flush path (re-tokenize the
+	// pending texts inside core.Run) so the equivalence gate can prove
+	// the token-reuse path byte-identical.
+	legacyFlush bool
+	// mineAll makes the incremental miner re-cluster its entire retained
+	// window every flush instead of only the touched components — the
+	// from-scratch baseline the lifecycle benchmark compares against.
+	mineAll bool
 }
 
 // New creates an empty detector.
@@ -104,8 +183,14 @@ func New(opt core.Options) *Detector {
 	}
 }
 
-// NumTemplates returns the number of mined templates.
+// NumTemplates returns the number of template slots ever mined,
+// including lifecycle tombstones (template indices are stable; retired
+// templates keep their slot). Use NumLive for the live count.
 func (d *Detector) NumTemplates() int { return len(d.templates) }
+
+// NumLive returns the number of live (non-retired) templates. With the
+// lifecycle disabled it equals NumTemplates.
+func (d *Detector) NumLive() int { return d.liveCount }
 
 // Templates returns the mined templates (shared slice; do not mutate).
 func (d *Detector) Templates() []Template { return d.templates }
@@ -120,6 +205,11 @@ type TemplateInfo struct {
 	Pattern  string
 	Slots    int
 	DocCount int
+	// Dead marks a lifecycle tombstone (merged away, aged out, or
+	// evicted); its slot survives so template ids stay stable, but it no
+	// longer matches documents and its pattern may be empty after an
+	// index rebuild reclaims the payload.
+	Dead bool
 }
 
 // TemplateInfo renders template ti (0 <= ti < NumTemplates) for
@@ -141,17 +231,22 @@ func (d *Detector) TemplateInfo(ti int) TemplateInfo {
 		}
 		sb.WriteString(d.vocab.Word(tok))
 	}
-	return TemplateInfo{Pattern: sb.String(), Slots: slots, DocCount: t.DocCount}
+	return TemplateInfo{Pattern: sb.String(), Slots: slots, DocCount: t.DocCount, Dead: d.isDead(ti)}
 }
 
 // Stats returns the cumulative serving-path counters (probe, DP, and
 // pruning counts — see Stats).
 func (d *Detector) Stats() Stats { return d.stats }
 
-// Assignment returns the current verdict for a document id returned by Add.
+// Assignment returns the current verdict for a document id returned by
+// Add. Assignments to templates merged away by the lifecycle resolve
+// through the merge's forward pointer to the surviving template;
+// assignments to evicted or aged-out templates keep the retired id (the
+// historical verdict stands, the template just stops matching new
+// documents).
 func (d *Detector) Assignment(id int) Assignment {
 	if t, ok := d.assignments[id]; ok {
-		return Assignment{Template: t}
+		return Assignment{Template: d.resolve(t)}
 	}
 	if _, ok := d.pendingSet[id]; ok {
 		return Assignment{Template: -1, Pending: true}
@@ -173,7 +268,7 @@ func (d *Detector) Add(text string) int {
 // tokenizing a second time.
 func (d *Detector) AddTokens(text string, words []string) int {
 	toks := d.vocab.Encode(words)
-	return d.apply(text, d.match(toks, d.vocab.Size(), &d.sc, &d.stats))
+	return d.apply(text, toks, d.match(toks, d.vocab.Size(), &d.sc, &d.stats))
 }
 
 // NextID returns the id the next ingested document will receive (equal
@@ -182,16 +277,21 @@ func (d *Detector) AddTokens(text string, words []string) int {
 func (d *Detector) NextID() int { return d.nextID }
 
 // SetNextID rebases document ids so the next ingested document receives
-// id n. Only legal before any document has been ingested: a serving
-// shard restored from a snapshot rebases to the snapshot's high-water
-// mark, so write-ahead-log replay reassigns exactly the logged ids and
-// post-restart ids never collide with pre-snapshot ones.
+// id n. Only legal before any document has been ingested through this
+// process (restoring state with Load is fine — a serving shard restored
+// from a snapshot rebases to the snapshot's high-water mark, so
+// write-ahead-log replay reassigns exactly the logged ids), and n must
+// not fall below the restored high-water mark (ids would collide with
+// persisted ones).
 func (d *Detector) SetNextID(n int) error {
-	if d.nextID != 0 || len(d.assignments) != 0 || len(d.pendingTexts) != 0 {
+	if d.ingested {
 		return fmt.Errorf("stream: SetNextID(%d) after documents were ingested", n)
 	}
 	if n < 0 {
 		return fmt.Errorf("stream: SetNextID(%d): negative id", n)
+	}
+	if n < d.nextID {
+		return fmt.Errorf("stream: SetNextID(%d) below restored high-water mark %d", n, d.nextID)
 	}
 	d.nextID = n
 	return nil
@@ -201,16 +301,19 @@ func (d *Detector) SetNextID(n int) error {
 // single mutation point Add and AddBatch share, so batched ingestion has
 // exactly the serial path's effects (including flushes that fire
 // mid-batch).
-func (d *Detector) apply(text string, verdict int) int {
+func (d *Detector) apply(text string, toks []int, verdict int) int {
 	id := d.nextID
 	d.nextID++
+	d.ingested = true
 	if verdict >= 0 {
 		d.assignments[id] = verdict
 		d.templates[verdict].DocCount++
+		d.lastMatch[verdict] = id
 		return id
 	}
 	d.pendingSet[id] = len(d.pendingIDs)
 	d.pendingTexts = append(d.pendingTexts, text)
+	d.pendingToks = append(d.pendingToks, toks)
 	d.pendingIDs = append(d.pendingIDs, id)
 	if len(d.pendingTexts) >= d.batchSize() {
 		d.Flush()
@@ -270,7 +373,7 @@ func (d *Detector) AddBatchTokens(texts []string, words [][]string) []int {
 		}
 		d.matchRange(toks, sizes, verdicts, start, end, workers)
 		for i := start; i < end; i++ {
-			ids[i] = d.apply(texts[i], verdicts[i])
+			ids[i] = d.apply(texts[i], toks[i], verdicts[i])
 		}
 		start = end
 	}
@@ -337,6 +440,12 @@ func (d *Detector) register(t Template) {
 	t.Wild = d.wildA.copyIn(t.Wild)
 	ti := len(d.templates)
 	d.templates = append(d.templates, t)
+	d.dead = append(d.dead, false)
+	d.forward = append(d.forward, -1)
+	// Registration seeds the recency clock at the current high-water
+	// mark, so a fresh template gets a full TTL before age-out.
+	d.lastMatch = append(d.lastMatch, d.nextID)
+	d.liveCount++
 	d.index.add(ti, t.Tokens, t.Wild, slots)
 }
 
@@ -368,15 +477,55 @@ func (d *Detector) Register(words []string, wild []bool) (int, error) {
 	return ti, nil
 }
 
-// Flush mines the buffered documents with the batch pipeline, appending
-// any accepted templates and assigning their member documents. Buffered
-// documents that end in no template are released as noise (their
-// assignment stays -1 and is final).
+// Flush mines the buffered documents, appending any accepted templates
+// and assigning their member documents. With Lifecycle.Incremental off
+// the batch pipeline runs over the buffer (buffered documents that end
+// in no template are released as noise: their assignment stays -1 and
+// is final); with it on, the incremental miner extends its cross-flush
+// state instead (see minestate.go) and unmatched documents are retained
+// for a bounded number of later passes. Either way the lifecycle pass
+// (merge, age-out, cap eviction) runs after mining.
 func (d *Detector) Flush() {
 	if len(d.pendingTexts) == 0 {
 		return
 	}
-	res := core.Run(d.pendingTexts, d.Options)
+	d.stats.Flushes++
+	d.stats.FlushDocs += len(d.pendingTexts)
+	var newTIs []int
+	if d.Lifecycle.Incremental {
+		newTIs = d.flushIncremental()
+	} else {
+		newTIs = d.flushBatch()
+	}
+	d.pendingTexts = nil
+	d.pendingToks = nil
+	d.pendingIDs = nil
+	clear(d.pendingSet)
+	d.lifecyclePass(newTIs)
+}
+
+// flushBatch mines the buffer with the batch pipeline. The pipeline is
+// fed the token streams buffered at ingest time (decoded back to words —
+// a slice lookup per token) rather than re-tokenizing the raw texts;
+// because the tokenizer is pure, the verdicts are byte-identical
+// (legacyFlush forces the old re-tokenizing path for the gate proving
+// that).
+func (d *Detector) flushBatch() []int {
+	var res *core.Result
+	if d.legacyFlush {
+		res = core.Run(d.pendingTexts, d.Options)
+	} else {
+		words := make([][]string, len(d.pendingToks))
+		for i, toks := range d.pendingToks {
+			w := make([]string, len(toks))
+			for j, tok := range toks {
+				w[j] = d.vocab.Word(tok)
+			}
+			words[i] = w
+		}
+		res = core.RunTokens(d.pendingTexts, words, d.Options)
+	}
+	var newTIs []int
 	for ci := range res.Clusters {
 		for _, tr := range res.Clusters[ci].Templates {
 			// Re-encode the template over the detector's own vocabulary.
@@ -399,12 +548,12 @@ func (d *Detector) Flush() {
 				Tokens:   tokens,
 				DocCount: len(tr.Docs),
 			})
+			d.stats.TemplatesMined++
+			newTIs = append(newTIs, ti)
 			for _, local := range tr.Docs {
 				d.assignments[d.pendingIDs[local]] = ti
 			}
 		}
 	}
-	d.pendingTexts = nil
-	d.pendingIDs = nil
-	clear(d.pendingSet)
+	return newTIs
 }

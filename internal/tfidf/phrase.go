@@ -38,6 +38,16 @@ func mix64(h uint64) uint64 {
 	return h ^ (h >> 31)
 }
 
+// PhraseHashExtend rolls one token id into a polynomial prefix hash —
+// the exported form of extendHash for callers that maintain phrase
+// identity outside this package (the streaming incremental miner keeps
+// cross-flush document-frequency state keyed by the same rolling hash).
+func PhraseHashExtend(h uint64, id int) uint64 { return extendHash(h, id) }
+
+// PhraseHashMix finalizes a rolling prefix hash into the mixed key form
+// (the exported mix64).
+func PhraseHashMix(h uint64) uint64 { return mix64(h) }
+
 // hashIDs hashes a whole token-id sequence (the non-rolling reference,
 // used by tests and one-off callers).
 func hashIDs(ids []int) uint64 {

@@ -29,6 +29,44 @@ func NewStreamDetector(cfg Config, batchSize int) *StreamDetector {
 	return &StreamDetector{d: d}
 }
 
+// StreamLifecycle bounds a long-running detector. The zero value keeps
+// today's behavior: every mined template lives forever and each flush
+// re-mines only the pending buffer.
+type StreamLifecycle struct {
+	// MaxTemplates caps the live template count; 0 means unbounded. When
+	// a flush pushes the count over the cap, the least-recently-matched
+	// templates are evicted (ties broken by smaller DocCount, then lower
+	// index).
+	MaxTemplates int
+	// TTL retires a template once more than TTL documents have been
+	// ingested since it last matched; 0 disables age-out.
+	TTL int
+	// Merge folds a freshly mined template into an existing near-duplicate
+	// when the MDL cost says the pair compresses better as one.
+	Merge bool
+	// Incremental carries document-frequency counts and recent unmatched
+	// documents across flushes, so each mining pass clusters only new and
+	// touched documents instead of re-clustering the buffer from scratch.
+	Incremental bool
+	// RetainFlushes / RetainDocs bound the incremental miner's carryover
+	// window (flush epochs and document count); 0 selects the defaults.
+	RetainFlushes int
+	RetainDocs    int
+}
+
+// SetLifecycle configures template aging, eviction, merging, and
+// incremental mining. Call before ingesting documents.
+func (s *StreamDetector) SetLifecycle(lc StreamLifecycle) {
+	s.d.Lifecycle = stream.Lifecycle{
+		MaxTemplates:  lc.MaxTemplates,
+		TTL:           lc.TTL,
+		Merge:         lc.Merge,
+		Incremental:   lc.Incremental,
+		RetainFlushes: lc.RetainFlushes,
+		RetainDocs:    lc.RetainDocs,
+	}
+}
+
 // Add ingests one document and returns its id.
 func (s *StreamDetector) Add(text string) int { return s.d.Add(text) }
 
@@ -45,8 +83,13 @@ func (s *StreamDetector) Template(id int) (template int, pending bool) {
 	return a.Template, a.Pending
 }
 
-// NumTemplates returns the number of templates mined so far.
+// NumTemplates returns the number of template slots allocated so far,
+// including retired ones — indices returned by Template stay in range.
 func (s *StreamDetector) NumTemplates() int { return s.d.NumTemplates() }
+
+// NumLive returns the number of templates currently matching documents
+// (mined or registered, minus evicted, aged-out, and merged-away).
+func (s *StreamDetector) NumLive() int { return s.d.NumLive() }
 
 // StreamTemplate is a reporting view of one mined template.
 type StreamTemplate struct {
@@ -57,6 +100,10 @@ type StreamTemplate struct {
 	// DocCount is the running number of documents the template has
 	// encoded (mined members plus later streaming matches).
 	DocCount int
+	// Dead marks a retired slot (evicted, aged out, or merged away).
+	// Positions are stable, so historical Template verdicts still index
+	// into this slice.
+	Dead bool
 }
 
 // Templates renders the mined templates for reporting, in mining order
@@ -65,7 +112,7 @@ func (s *StreamDetector) Templates() []StreamTemplate {
 	out := make([]StreamTemplate, s.d.NumTemplates())
 	for i := range out {
 		ti := s.d.TemplateInfo(i)
-		out[i] = StreamTemplate{Pattern: ti.Pattern, Slots: ti.Slots, DocCount: ti.DocCount}
+		out[i] = StreamTemplate{Pattern: ti.Pattern, Slots: ti.Slots, DocCount: ti.DocCount, Dead: ti.Dead}
 	}
 	return out
 }
@@ -120,6 +167,20 @@ type StreamStats struct {
 	// counts: bucket k counts probes whose surviving set had
 	// ⌈lg(n+1)⌉ = k candidates.
 	CandHist [stream.CandHistBuckets]int
+	// Lifecycle counters: Flushes and FlushDocs count mining passes and
+	// the documents they consumed; TemplatesMined / Merged / Evicted /
+	// Aged count lifecycle events. MineReusedDocs over MineClusteredDocs
+	// is the incremental miner's reuse rate — the fraction of clustered
+	// documents that were carried over from earlier flushes rather than
+	// arriving in the pending buffer.
+	Flushes           int
+	FlushDocs         int
+	TemplatesMined    int
+	TemplatesMerged   int
+	TemplatesEvicted  int
+	TemplatesAged     int
+	MineReusedDocs    int
+	MineClusteredDocs int
 }
 
 // Stats returns the serving-path counters accumulated since creation.
@@ -142,6 +203,15 @@ func (s *StreamDetector) Stats() StreamStats {
 		BitDPNs:       st.BitDPNs,
 		ExactDPNs:     st.ExactDPNs,
 		CandHist:      st.CandHist,
+
+		Flushes:           st.Flushes,
+		FlushDocs:         st.FlushDocs,
+		TemplatesMined:    st.TemplatesMined,
+		TemplatesMerged:   st.TemplatesMerged,
+		TemplatesEvicted:  st.TemplatesEvicted,
+		TemplatesAged:     st.TemplatesAged,
+		MineReusedDocs:    st.MineReusedDocs,
+		MineClusteredDocs: st.MineClusteredDocs,
 	}
 }
 
@@ -153,8 +223,9 @@ func (s *StreamDetector) RegisterTemplate(words []string, wild []bool) (int, err
 	return s.d.Register(words, wild)
 }
 
-// Save serializes the mined templates (not the pending buffer — call
-// Flush first if buffered documents matter).
+// Save serializes the detector state: mined templates (with lifecycle
+// markers), the pending buffer (texts and ids), and the incremental
+// miner's carryover window — a snapshot taken mid-buffer loses nothing.
 func (s *StreamDetector) Save(w io.Writer) error { return s.d.Save(w) }
 
 // Load restores templates saved by Save, merging after any templates the
